@@ -1,0 +1,71 @@
+"""Ablation (§2.2/§2.3): extent-tree BLT vs flat byte-array BLT.
+
+The paper chooses an extent tree "as a high-performance data structure"
+and separately sizes a byte-array variant ("one byte per 4 KB of user
+data").  We compare lookup cost on sequential vs fragmented files and the
+metadata footprint of both structures.
+"""
+
+from repro.core.blt import ByteArrayBlt, ExtentBlt
+from repro.core.policy import MigrationOrder
+from repro.stack import build_stack
+
+MIB = 1024 * 1024
+BS = 4096
+
+
+def read_time_us(blt_factory, fragment: bool) -> dict:
+    stack = build_stack(
+        capacities={"pm": 64 * MIB, "ssd": 128 * MIB, "hdd": 256 * MIB},
+        enable_cache=False,
+        blt_factory=blt_factory,
+    )
+    mux = stack.mux
+    handle = mux.create("/f")
+    blocks = 4096  # 16 MiB
+    for off in range(0, blocks * BS, MIB):
+        mux.write(handle, off, bytes(MIB))
+    if fragment:
+        # alternate 8-block stripes onto the ssd tier -> many BLT extents
+        for fb in range(0, blocks, 16):
+            mux.engine.migrate_now(
+                MigrationOrder(
+                    handle.ino, fb, 8, stack.tier_id("pm"), stack.tier_id("ssd")
+                )
+            )
+    inode = mux.ns.get(handle.ino)
+    t0 = stack.clock.now_ns
+    reads = 256
+    for i in range(reads):
+        offset = (i * 769 % blocks) * BS
+        mux.read(handle, offset, BS)
+    elapsed_us = (stack.clock.now_ns - t0) / 1000.0
+    memory = inode.blt.memory_bytes()
+    mux.close(handle)
+    return {"mean_read_us": elapsed_us / reads, "blt_bytes": memory}
+
+
+def test_ablation_blt_structures(benchmark):
+    def run():
+        return {
+            "extent_seq": read_time_us(ExtentBlt, fragment=False),
+            "extent_frag": read_time_us(ExtentBlt, fragment=True),
+            "flat_seq": read_time_us(ByteArrayBlt, fragment=False),
+            "flat_frag": read_time_us(ByteArrayBlt, fragment=True),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, stats in result.items():
+        print(
+            f"{name:12s}: read {stats['mean_read_us']:8.2f} us/4KiB, "
+            f"BLT footprint {stats['blt_bytes']:7d} B"
+        )
+    for name, stats in result.items():
+        benchmark.extra_info[f"{name}_read_us"] = round(stats["mean_read_us"], 2)
+        benchmark.extra_info[f"{name}_blt_bytes"] = stats["blt_bytes"]
+
+    # extent tree: tiny footprint on sequential files (coalescing)
+    assert result["extent_seq"]["blt_bytes"] < result["flat_seq"]["blt_bytes"] / 10
+    # paper §2.3 space bound holds for the flat table: <= 0.025% of data
+    assert result["flat_seq"]["blt_bytes"] / (4096 * BS) <= 0.00025

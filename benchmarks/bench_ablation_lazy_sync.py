@@ -1,0 +1,53 @@
+"""Ablation (§2.3): how lazily should Mux synchronize its metadata?
+
+"Mux bookkeeps the affinitive file system per attribute ... and lazily
+synchronizes participating file systems."  The sync interval is the knob:
+flushing Mux's metadata records to the metafile every Nth record trades
+read-path latency (each flush is an append+fsync on the meta tier)
+against staleness.  On a single-HDD stack — where the metafile shares the
+slow device — the cost is starkly visible, which is exactly the §3.2
+worst case.
+"""
+
+from repro.bench.harness import build_pinned_mux
+from repro.bench.workloads import make_file, random_read_single_byte
+from repro.core import calibration as cal
+
+MIB = 1024 * 1024
+
+INTERVALS = [4, 16, 48, 192]
+
+
+def hdd_read_latency_us(sync_interval: int) -> float:
+    original = cal.META_SYNC_RECORDS
+    cal.META_SYNC_RECORDS = sync_interval
+    try:
+        stack = build_pinned_mux(
+            "hdd", tiers=["hdd"], capacities={"hdd": 512 * MIB}
+        )
+        handle = make_file(stack.mux, stack.clock, "/big.bin", 128 * MIB)
+        stack.mux.close(handle)
+        result = random_read_single_byte(
+            stack.mux, stack.clock, "/big.bin", 128 * MIB, iterations=300
+        )
+        return result.mean_us
+    finally:
+        cal.META_SYNC_RECORDS = original
+
+
+def test_ablation_lazy_sync_interval(benchmark):
+    def run():
+        return {interval: hdd_read_latency_us(interval) for interval in INTERVALS}
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for interval, mean_us in result.items():
+        print(
+            f"  sync every {interval:4d} records -> "
+            f"mean 1-byte HDD read {mean_us:8.1f} us"
+        )
+        benchmark.extra_info[f"interval_{interval}_us"] = round(mean_us, 1)
+
+    # lazier synchronization monotonically cheapens the read path
+    assert result[4] > result[48] > 0
+    assert result[192] <= result[48] * 1.05

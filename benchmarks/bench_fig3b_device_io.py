@@ -1,0 +1,33 @@
+"""Figure 3b: per-device I/O throughput, Strata vs Mux.
+
+Paper result: with random writes always directed to one target device,
+Mux's throughput is 1.08x / 1.46x / 1.07x Strata's on PM / SSD / HDD —
+the indirection layer more than pays for itself because NOVA/XFS/Ext4 are
+better at driving their devices than Strata's log-then-digest path.
+"""
+
+from repro.bench.experiments import PAPER_IO_SPEEDUP, TIERS, experiment_fig3b
+from repro.bench.harness import format_rows
+
+
+def test_fig3b_device_io(benchmark, full_scale):
+    total_mib = 24 if full_scale else 12
+    result = benchmark.pedantic(
+        experiment_fig3b, kwargs={"total_mib": total_mib}, rounds=1, iterations=1
+    )
+    print()
+    print(format_rows(result.rows(), "== Figure 3b: device I/O throughput =="))
+
+    for tier in TIERS:
+        benchmark.extra_info[f"mux_{tier}_mb_s"] = round(result.mux_mb_s[tier], 1)
+        benchmark.extra_info[f"strata_{tier}_mb_s"] = round(
+            result.strata_mb_s[tier], 1
+        )
+        benchmark.extra_info[f"{tier}_speedup_paper"] = PAPER_IO_SPEEDUP[tier]
+        benchmark.extra_info[f"{tier}_speedup_measured"] = round(
+            result.speedup(tier), 2
+        )
+
+    # Mux wins on every device, as in the paper
+    for tier in TIERS:
+        assert result.speedup(tier) > 1.0

@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Every benchmark measures *simulated* time (deterministic, machine-
+independent); pytest-benchmark's wall-clock numbers describe how long the
+simulation takes to run, while the paper-comparison metrics are attached
+as ``extra_info`` and printed as paper-vs-measured tables.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-scale",
+        action="store_true",
+        default=False,
+        help="run benchmarks at full (slower) workload sizes",
+    )
+
+
+@pytest.fixture
+def full_scale(request):
+    return request.config.getoption("--full-scale")

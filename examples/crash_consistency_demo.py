@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Crash-consistency composition (§4): "the crash consistency properties
+of Mux are composed of those of the participating file systems.  Mux sends
+fsync requests to all the file systems that are responsible for a given
+file ... Upon a crash, Mux relies on each participating file system to
+recover the data blocks it stores."
+
+We place one file's blocks on NOVA (durable at write return) and Ext4
+(durable only after fsync), crash the machine, recover, and inspect what
+each participating file system preserved.
+
+Run:  python examples/crash_consistency_demo.py
+"""
+
+from repro import build_stack
+from repro.core.policies import PinnedPolicy
+from repro.core.policy import MigrationOrder
+
+BS = 4096
+MIB = 1024 * 1024
+
+
+def main():
+    stack = build_stack(enable_cache=False)
+    mux = stack.mux
+    pm_id, hdd_id = stack.tier_id("pm"), stack.tier_id("hdd")
+
+    # --- build a file that spans NOVA/PM and Ext4/HDD --------------------
+    handle = mux.create("/journal.db")
+    mux.write(handle, 0, b"P" * (4 * BS))  # blocks 0-3 on NOVA
+    mux.engine.migrate_now(
+        MigrationOrder(handle.ino, 2, 2, pm_id, hdd_id)
+    )  # blocks 2-3 now on Ext4 (commit fsyncs the destination)
+    print("file spans two file systems:",
+          {t: mux.ns.get(handle.ino).blt.blocks_on(t)
+           for t in mux.ns.get(handle.ino).blt.tiers_used()})
+
+    # --- make some updates durable, leave others volatile -----------------
+    mux.write(handle, 0, b"pm-durable-without-fsync")  # NOVA: flushed at return
+    mux.policy = PinnedPolicy(hdd_id)
+    mux.write(handle, 2 * BS, b"hdd-data-fsynced")
+    mux.fsync(handle)  # fans out to NOVA *and* Ext4
+    mux.write(handle, 3 * BS, b"hdd-data-NOT-fsynced")  # sits in ext4 page cache
+    print("\nbefore crash:")
+    print(f"  block 0 (NOVA, no fsync): {mux.read(handle, 0, 24)!r}")
+    print(f"  block 2 (Ext4, fsynced):  {mux.read(handle, 2 * BS, 16)!r}")
+    print(f"  block 3 (Ext4, volatile): {mux.read(handle, 3 * BS, 20)!r}")
+
+    # --- power cut ----------------------------------------------------------
+    print("\n*** CRASH ***  (all DRAM state lost; journals + PM survive)")
+    mux.crash()
+    mux.recover()  # each participating FS runs its own recovery
+
+    handle = mux.open("/journal.db")
+    b0 = mux.read(handle, 0, 24)
+    b2 = mux.read(handle, 2 * BS, 16)
+    b3 = mux.read(handle, 3 * BS, 20)
+    print("\nafter recovery:")
+    print(f"  block 0 (NOVA, no fsync): {b0!r}   <- survived: NOVA flushes at write")
+    print(f"  block 2 (Ext4, fsynced):  {b2!r}   <- survived: ordered journal")
+    print(f"  block 3 (Ext4, volatile): {b3!r}   <- lost: was only in the page cache")
+
+    assert b0 == b"pm-durable-without-fsync"
+    assert b2 == b"hdd-data-fsynced"
+    assert b3 != b"hdd-data-NOT-fsynced"
+    print("\ncomposition verified: each FS kept exactly what its own "
+          "crash-consistency contract promises.")
+    mux.close(handle)
+
+
+if __name__ == "__main__":
+    main()

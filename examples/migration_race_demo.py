@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The OCC Synchronizer under fire (§2.4).
+
+A large migration runs as a background task while a foreground workload
+keeps writing into the file being moved.  OCC detects the conflicting
+blocks by version/dirty tracking, commits the clean ones, retries the
+dirty ones, and (under sustained hostility) falls back to a lock — while
+the file's contents stay correct throughout.
+
+Run:  python examples/migration_race_demo.py
+"""
+
+from repro import build_stack
+from repro.core.policy import MigrationOrder
+from repro.sim.rng import DeterministicRng
+
+BS = 4096
+MIB = 1024 * 1024
+
+
+def main():
+    stack = build_stack(enable_cache=False)
+    mux = stack.mux
+    rng = DeterministicRng(23)
+
+    handle = mux.create("/hot-table.bin")
+    blocks = 2048  # 8 MiB
+    mux.write(handle, 0, bytes(blocks * BS))
+    inode = mux.ns.get(handle.ino)
+    print(f"created 8 MiB file on the pm tier ({blocks} blocks)\n")
+
+    # reference model of what the file should contain
+    model = bytearray(blocks * BS)
+
+    # --- start an asynchronous whole-file migration pm -> ssd ------------
+    task = mux.engine.submit(
+        MigrationOrder(
+            handle.ino, 0, blocks, stack.tier_id("pm"), stack.tier_id("ssd")
+        )
+    )
+    print("migration started; writing into the file while it moves...")
+
+    step = 0
+    writes = 0
+    while task.step():
+        # foreground workload: two random 1 KiB writes per migration step
+        for _ in range(2):
+            offset = rng.randint(0, blocks * BS - 1024)
+            data = bytes([writes % 251]) * 1024
+            mux.write(handle, offset, data)
+            model[offset : offset + 1024] = data
+            writes += 1
+        step += 1
+    result = task.result
+
+    print(f"\nmigration finished after {step} cooperative steps")
+    print(f"  foreground writes during migration: {writes}")
+    print(f"  OCC attempts:      {result.attempts}")
+    print(f"  conflicts detected:{result.conflicts:5d} (dirty blocks retried)")
+    print(f"  lock fallback:     {result.lock_fallback}")
+    print(f"  blocks moved:      {result.moved_blocks}")
+
+    # --- verify: not a single user write was lost or overwritten ----------
+    content = mux.read(handle, 0, blocks * BS)
+    assert content == bytes(model), "user data corrupted by migration!"
+    ssd_id = stack.tier_id("ssd")
+    print(f"\nverified: all {writes} concurrent writes preserved, "
+          f"{inode.blt.blocks_on(ssd_id)}/{blocks} blocks now on ssd")
+    print(f"file version counter: {inode.version} "
+          f"(incremented at each movement start/end)")
+    mux.close(handle)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — reproduction of "Rethinking Tiered Storage: Talk to File
+Systems, Not Device Drivers" (HotOS '25): the Mux tiered file system, its
+native-file-system substrates (NOVA/XFS/Ext4 models over simulated PM,
+SSD and HDD devices), and the Strata baseline.
+
+Quick start::
+
+    from repro import build_stack
+
+    stack = build_stack()            # PM + SSD + HDD, LRU tiering policy
+    mux = stack.mux
+    h = mux.create("/data.bin")
+    mux.write(h, 0, b"hello tiered world")
+    print(mux.read(h, 0, 18))
+"""
+
+from repro.stack import Stack, build_stack
+
+__version__ = "1.0.0"
+
+__all__ = ["Stack", "build_stack", "__version__"]

@@ -1,0 +1,46 @@
+"""Benchmark harness: workloads, system builders, paper experiments."""
+
+from repro.bench.harness import (
+    ResultRow,
+    StrataStack,
+    VfsView,
+    build_pinned_mux,
+    build_strata,
+    format_rows,
+)
+from repro.bench.macro import ALL_WORKLOADS, MacroResult, fileserver, varmail, webserver
+from repro.bench.trace import ReplayResult, Trace, TraceRecorder, replay
+from repro.bench.workloads import (
+    LatencyResult,
+    ThroughputResult,
+    hot_set_reads,
+    make_file,
+    random_read_single_byte,
+    random_write,
+    sequential_write,
+)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "MacroResult",
+    "fileserver",
+    "varmail",
+    "webserver",
+    "ReplayResult",
+    "Trace",
+    "TraceRecorder",
+    "replay",
+    "ResultRow",
+    "StrataStack",
+    "VfsView",
+    "build_pinned_mux",
+    "build_strata",
+    "format_rows",
+    "LatencyResult",
+    "ThroughputResult",
+    "hot_set_reads",
+    "make_file",
+    "random_read_single_byte",
+    "random_write",
+    "sequential_write",
+]

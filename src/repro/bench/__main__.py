@@ -1,0 +1,18 @@
+"""CLI entry point: ``python -m repro.bench`` reruns every paper experiment
+and prints the paper-vs-measured tables recorded in EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.experiments import run_all
+
+
+def main() -> int:
+    fast = "--fast" in sys.argv
+    print(run_all(fast=fast))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""Shared system builders + result reporting for the benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.policies import PinnedPolicy
+from repro.core.scheduler import IoScheduler
+from repro.devices.hdd import HardDiskDrive
+from repro.devices.pm import PersistentMemoryDevice
+from repro.devices.ssd import SolidStateDrive
+from repro.sim.clock import SimClock
+from repro.stack import DEFAULT_CAPACITIES, Stack, build_stack
+from repro.strata.fs import StrataFileSystem
+
+MIB = 1024 * 1024
+
+
+@dataclass
+class StrataStack:
+    """A Strata instance plus its devices and clock."""
+
+    clock: SimClock
+    fs: StrataFileSystem
+    devices: Dict[str, object]
+
+
+def build_strata(
+    capacities: Optional[Dict[str, int]] = None,
+    pin_target: Optional[str] = None,
+) -> StrataStack:
+    """Assemble Strata over the paper's three devices."""
+    caps = dict(DEFAULT_CAPACITIES)
+    if capacities:
+        caps.update(capacities)
+    clock = SimClock()
+    pm = PersistentMemoryDevice("pm0", caps["pm"], clock)
+    ssd = SolidStateDrive("ssd0", caps["ssd"], clock)
+    hdd = HardDiskDrive("hdd0", caps["hdd"], clock)
+    fs = StrataFileSystem("strata", pm, ssd, hdd, clock, pin_target=pin_target)
+    return StrataStack(clock, fs, {"pm": pm, "ssd": ssd, "hdd": hdd})
+
+
+def build_pinned_mux(
+    target: str,
+    tiers: Optional[List[str]] = None,
+    capacities: Optional[Dict[str, int]] = None,
+    enable_cache: bool = True,
+    scheduler: Optional[IoScheduler] = None,
+) -> Stack:
+    """A Mux stack whose policy pins every write to ``target``."""
+    tiers = tiers if tiers is not None else ["pm", "ssd", "hdd"]
+    stack = build_stack(
+        tiers=tiers,
+        capacities=capacities,
+        policy=PinnedPolicy(0),  # placeholder; fixed below once ids exist
+        enable_cache=enable_cache,
+        scheduler=scheduler,
+    )
+    stack.mux.policy = PinnedPolicy(stack.tier_id(target))
+    return stack
+
+
+class VfsView:
+    """Adapter: run a workload against one FS *through* the shared VFS.
+
+    The paper's baselines are native file systems reached via the kernel
+    VFS; charging the same VFS dispatch cost to both the native and the
+    Mux configurations keeps the overhead comparison fair.  The adapter
+    rewrites workload paths under the file system's mount point and
+    forwards handle-based calls through the VFS.
+    """
+
+    def __init__(self, vfs, mount: str) -> None:
+        self.vfs = vfs
+        self.mount = mount.rstrip("/")
+
+    def _full(self, path: str) -> str:
+        return self.mount + path
+
+    def open(self, path: str, flags):
+        return self.vfs.open(self._full(path), flags)
+
+    def create(self, path: str, mode: int = 0o644):
+        return self.vfs.create(self._full(path), mode)
+
+    def close(self, handle) -> None:
+        self.vfs.close(handle)
+
+    def read(self, handle, offset: int, length: int) -> bytes:
+        return self.vfs.read(handle, offset, length)
+
+    def write(self, handle, offset: int, data: bytes) -> int:
+        return self.vfs.write(handle, offset, data)
+
+    def truncate(self, handle, size: int) -> None:
+        self.vfs.truncate(handle, size)
+
+    def fsync(self, handle) -> None:
+        self.vfs.fsync(handle)
+
+    def getattr(self, path: str):
+        return self.vfs.getattr(self._full(path))
+
+    def unlink(self, path: str) -> None:
+        self.vfs.unlink(self._full(path))
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ResultRow:
+    """One paper-vs-measured comparison line."""
+
+    experiment: str
+    config: str
+    metric: str
+    paper: str
+    measured: str
+
+    def formatted(self, widths: List[int]) -> str:
+        cells = [self.experiment, self.config, self.metric, self.paper, self.measured]
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+
+def format_rows(rows: List[ResultRow], title: str = "") -> str:
+    header = ResultRow("experiment", "config", "metric", "paper", "measured")
+    all_rows = [header] + rows
+    widths = [
+        max(len(getattr(r, f)) for r in all_rows)
+        for f in ("experiment", "config", "metric", "paper", "measured")
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header.formatted(widths))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(row.formatted(widths) for row in rows)
+    return "\n".join(lines)

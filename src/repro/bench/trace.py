@@ -1,0 +1,232 @@
+"""I/O trace recording and replay.
+
+The practical answer to §4's "Configuring Mux": capture what an
+application actually does (a trace), then replay it against candidate
+configurations and measure.  :class:`TraceRecorder` is a transparent
+:class:`FileSystem` proxy that logs every operation; :func:`replay` runs a
+recorded trace against any other file system, preserving the exact
+operation sequence, offsets and sizes (data payloads are regenerated —
+placement decisions depend on shape, not bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.clock import SimClock
+from repro.vfs.interface import FileHandle, FileSystem, OpenFlags
+from repro.vfs.stat import FsStats, Stat
+
+#: (op, handle_id, path, a, b)  — a/b are op-specific ints
+TraceEntry = Tuple[str, int, str, int, int]
+
+
+@dataclass
+class Trace:
+    """A recorded operation sequence."""
+
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def op_mix(self) -> Dict[str, int]:
+        mix: Dict[str, int] = {}
+        for op, *_ in self.entries:
+            mix[op] = mix.get(op, 0) + 1
+        return mix
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(b for op, _, _, _, b in self.entries if op == "write")
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(b for op, _, _, _, b in self.entries if op == "read")
+
+
+class TraceRecorder(FileSystem):
+    """Transparent proxy: forwards everything, records the op stream."""
+
+    def __init__(self, inner: FileSystem) -> None:
+        self.inner = inner
+        self.fs_name = f"traced({inner.fs_name})"
+        self.block_size = getattr(inner, "block_size", 4096)
+        self.trace = Trace()
+        self._next_handle_id = 1
+        self._handle_ids: Dict[int, int] = {}  # id(handle) -> trace handle id
+
+    def _note(self, op: str, handle_id: int = 0, path: str = "", a: int = 0, b: int = 0) -> None:
+        self.trace.entries.append((op, handle_id, path, a, b))
+
+    def _register(self, handle: FileHandle) -> int:
+        handle_id = self._next_handle_id
+        self._next_handle_id += 1
+        self._handle_ids[id(handle)] = handle_id
+        return handle_id
+
+    def _id_of(self, handle: FileHandle) -> int:
+        return self._handle_ids.get(id(handle), 0)
+
+    # -- namespace ---------------------------------------------------------
+
+    def create(self, path: str, mode: int = 0o644) -> FileHandle:
+        handle = self.inner.create(path, mode)
+        self._note("create", self._register(handle), path, mode)
+        return handle
+
+    def open(self, path: str, flags: int = OpenFlags.RDWR) -> FileHandle:
+        handle = self.inner.open(path, flags)
+        self._note("open", self._register(handle), path, flags)
+        return handle
+
+    def close(self, handle: FileHandle) -> None:
+        self._note("close", self._id_of(handle))
+        self.inner.close(handle)
+
+    def unlink(self, path: str) -> None:
+        self._note("unlink", 0, path)
+        self.inner.unlink(path)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        # two path fields don't fit the tuple; encode via two entries
+        self._note("rename_from", 0, old_path)
+        self._note("rename_to", 0, new_path)
+        self.inner.rename(old_path, new_path)
+
+    def link(self, existing_path: str, new_path: str) -> None:
+        self._note("link_from", 0, existing_path)
+        self._note("link_to", 0, new_path)
+        self.inner.link(existing_path, new_path)
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self._note("mkdir", 0, path, mode)
+        self.inner.mkdir(path, mode)
+
+    def rmdir(self, path: str) -> None:
+        self._note("rmdir", 0, path)
+        self.inner.rmdir(path)
+
+    def readdir(self, path: str) -> List[str]:
+        self._note("readdir", 0, path)
+        return self.inner.readdir(path)
+
+    # -- data ---------------------------------------------------------------
+
+    def read(self, handle: FileHandle, offset: int, length: int) -> bytes:
+        self._note("read", self._id_of(handle), "", offset, length)
+        return self.inner.read(handle, offset, length)
+
+    def write(self, handle: FileHandle, offset: int, data: bytes) -> int:
+        self._note("write", self._id_of(handle), "", offset, len(data))
+        return self.inner.write(handle, offset, data)
+
+    def truncate(self, handle: FileHandle, size: int) -> None:
+        self._note("truncate", self._id_of(handle), "", size)
+        self.inner.truncate(handle, size)
+
+    def fsync(self, handle: FileHandle) -> None:
+        self._note("fsync", self._id_of(handle))
+        self.inner.fsync(handle)
+
+    def punch_hole(self, handle: FileHandle, offset: int, length: int) -> None:
+        self._note("punch_hole", self._id_of(handle), "", offset, length)
+        self.inner.punch_hole(handle, offset, length)
+
+    # -- metadata -------------------------------------------------------------
+
+    def getattr(self, path: str) -> Stat:
+        self._note("getattr", 0, path)
+        return self.inner.getattr(path)
+
+    def setattr(self, path: str, **attrs: object) -> Stat:
+        self._note("setattr", 0, path)
+        return self.inner.setattr(path, **attrs)
+
+    def statfs(self) -> FsStats:
+        return self.inner.statfs()
+
+    def sync(self) -> None:
+        self.inner.sync()
+
+
+
+@dataclass
+class ReplayResult:
+    operations: int
+    elapsed_s: float
+    #: operations that raised during replay (traces legitimately contain
+    #: failing probes, e.g. the getattr under an exists() check)
+    failed_operations: int = 0
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.operations / self.elapsed_s if self.elapsed_s else 0.0
+
+
+def replay(trace: Trace, fs: FileSystem, clock: SimClock) -> ReplayResult:
+    """Re-execute a trace against ``fs``, measuring simulated time.
+
+    Operations that raise :class:`~repro.errors.FsError` are counted in
+    ``failed_operations`` and skipped — a faithful trace contains failing
+    probes too (the getattr under an ``exists()`` check, races with
+    deletions), and the original application survived them.
+    """
+    from repro.errors import FsError
+
+    handles: Dict[int, FileHandle] = {}
+    pending_rename: Optional[str] = None
+    pending_link: Optional[str] = None
+    failed = 0
+    start_ns = clock.now_ns
+    for op, handle_id, path, a, b in trace.entries:
+        try:
+            if op == "create":
+                handles[handle_id] = fs.create(path, a or 0o644)
+            elif op == "open":
+                handles[handle_id] = fs.open(path, a)
+            elif op == "close":
+                handle = handles.pop(handle_id, None)
+                if handle is not None:
+                    fs.close(handle)
+            elif op == "read":
+                fs.read(handles[handle_id], a, b)
+            elif op == "write":
+                fs.write(handles[handle_id], a, bytes(b))
+            elif op == "truncate":
+                fs.truncate(handles[handle_id], a)
+            elif op == "fsync":
+                fs.fsync(handles[handle_id])
+            elif op == "punch_hole":
+                fs.punch_hole(handles[handle_id], a, b)
+            elif op == "unlink":
+                fs.unlink(path)
+            elif op == "mkdir":
+                fs.mkdir(path, a or 0o755)
+            elif op == "rmdir":
+                fs.rmdir(path)
+            elif op == "readdir":
+                fs.readdir(path)
+            elif op == "getattr":
+                fs.getattr(path)
+            elif op == "setattr":
+                fs.setattr(path, mtime=clock.now())
+            elif op == "rename_from":
+                pending_rename = path
+            elif op == "rename_to":
+                assert pending_rename is not None, "orphan rename_to in trace"
+                fs.rename(pending_rename, path)
+                pending_rename = None
+            elif op == "link_from":
+                pending_link = path
+            elif op == "link_to":
+                assert pending_link is not None, "orphan link_to in trace"
+                fs.link(pending_link, path)
+                pending_link = None
+            else:  # pragma: no cover - future-proofing
+                raise ValueError(f"unknown trace op {op!r}")
+        except FsError:
+            failed += 1
+    elapsed = (clock.now_ns - start_ns) / 1e9
+    return ReplayResult(len(trace), elapsed, failed)

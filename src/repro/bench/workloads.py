@@ -1,0 +1,175 @@
+"""Workload generators for the paper's experiments.
+
+All generators run against anything implementing the
+:class:`~repro.vfs.interface.FileSystem` interface (native file systems,
+Mux, Strata), measure **simulated** time, and return plain numbers —
+machine-independent and deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.clock import SimClock
+from repro.sim.rng import DeterministicRng
+from repro.vfs.interface import FileHandle, FileSystem, OpenFlags
+
+MIB = 1024 * 1024
+
+
+@dataclass
+class ThroughputResult:
+    bytes_moved: int
+    elapsed_s: float
+
+    @property
+    def mb_per_s(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return (self.bytes_moved / 1e6) / self.elapsed_s
+
+
+@dataclass
+class LatencyResult:
+    operations: int
+    total_ns: int
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.operations if self.operations else 0.0
+
+    @property
+    def mean_us(self) -> float:
+        return self.mean_ns / 1000.0
+
+
+def make_file(
+    fs: FileSystem,
+    clock: SimClock,
+    path: str,
+    size: int,
+    io_size: int = 4 * MIB,
+    fsync_every: int = 8,
+    pattern: int = 0xA5,
+) -> FileHandle:
+    """Create ``path`` and fill it sequentially to ``size`` bytes."""
+    handle = fs.open(path, OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.TRUNC)
+    chunk = bytes([pattern]) * io_size
+    written = 0
+    ops = 0
+    while written < size:
+        n = min(io_size, size - written)
+        fs.write(handle, written, chunk[:n])
+        written += n
+        ops += 1
+        if fsync_every and ops % fsync_every == 0:
+            fs.fsync(handle)
+    fs.fsync(handle)
+    return handle
+
+
+def sequential_write(
+    fs: FileSystem,
+    clock: SimClock,
+    path: str,
+    total_bytes: int,
+    io_size: int = 4 * MIB,
+    fsync_every: int = 4,
+) -> ThroughputResult:
+    """The §3.2 write benchmark: repeatedly write ``io_size`` sequentially."""
+    handle = fs.open(path, OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.TRUNC)
+    chunk = bytes(io_size)
+    start_ns = clock.now_ns
+    written = 0
+    ops = 0
+    while written < total_bytes:
+        n = min(io_size, total_bytes - written)
+        fs.write(handle, written, chunk[:n])
+        written += n
+        ops += 1
+        if fsync_every and ops % fsync_every == 0:
+            fs.fsync(handle)
+    fs.fsync(handle)
+    elapsed = (clock.now_ns - start_ns) / 1e9
+    fs.close(handle)
+    return ThroughputResult(written, elapsed)
+
+
+def random_write(
+    fs: FileSystem,
+    clock: SimClock,
+    path: str,
+    file_size: int,
+    total_bytes: int,
+    io_size: int = 16 * 1024,
+    seed: int = 7,
+    fsync_every: int = 64,
+) -> ThroughputResult:
+    """Fig. 3b workload: random aligned writes over a preallocated span."""
+    rng = DeterministicRng(seed)
+    handle = fs.open(path, OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.TRUNC)
+    fs.truncate(handle, file_size)  # sparse span; writes materialize blocks
+    chunk = bytes(io_size)
+    start_ns = clock.now_ns
+    written = 0
+    ops = 0
+    slots = max(1, file_size // io_size)
+    while written < total_bytes:
+        offset = rng.randint(0, slots - 1) * io_size
+        fs.write(handle, offset, chunk)
+        written += io_size
+        ops += 1
+        if fsync_every and ops % fsync_every == 0:
+            fs.fsync(handle)
+    fs.fsync(handle)
+    elapsed = (clock.now_ns - start_ns) / 1e9
+    fs.close(handle)
+    return ThroughputResult(written, elapsed)
+
+
+def random_read_single_byte(
+    fs: FileSystem,
+    clock: SimClock,
+    path: str,
+    file_size: int,
+    iterations: int,
+    seed: int = 11,
+    warmup: int = 0,
+) -> LatencyResult:
+    """§3.2 read benchmark: repeatedly read one byte at random offsets."""
+    rng = DeterministicRng(seed)
+    handle = fs.open(path, OpenFlags.RDONLY)
+    offsets = [rng.randint(0, file_size - 1) for _ in range(warmup + iterations)]
+    for offset in offsets[:warmup]:
+        fs.read(handle, offset, 1)
+    start_ns = clock.now_ns
+    for offset in offsets[warmup:]:
+        data = fs.read(handle, offset, 1)
+        assert len(data) == 1, f"short read at {offset}"
+    total = clock.now_ns - start_ns
+    fs.close(handle)
+    return LatencyResult(iterations, total)
+
+
+def hot_set_reads(
+    fs: FileSystem,
+    clock: SimClock,
+    path: str,
+    file_size: int,
+    hot_bytes: int,
+    iterations: int,
+    io_size: int = 4096,
+    seed: int = 13,
+) -> LatencyResult:
+    """Skewed reads over a hot subset — exercises the SCM cache."""
+    rng = DeterministicRng(seed)
+    handle = fs.open(path, OpenFlags.RDONLY)
+    hot_slots = max(1, hot_bytes // io_size)
+    start_ns = clock.now_ns
+    for _ in range(iterations):
+        offset = rng.randint(0, hot_slots - 1) * io_size
+        fs.read(handle, offset, io_size)
+    total = clock.now_ns - start_ns
+    fs.close(handle)
+    return LatencyResult(iterations, total)

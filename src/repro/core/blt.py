@@ -1,0 +1,191 @@
+"""Block Lookup Table: which tier stores the current version of each block.
+
+§2.2: "Block-level data distribution requires Mux to maintain the mapping
+from a block to the underlying file systems (a file system's internal index
+is invisible to Mux). ... Since the table maps file offsets to devices,
+that are small in size, we use an extent tree as a high-performance data
+structure."
+
+Two interchangeable implementations are provided:
+
+* :class:`ExtentBlt` — the paper's choice, an extent tree (coalesced runs);
+* :class:`ByteArrayBlt` — the flat one-byte-per-block table §2.3 sizes
+  ("one byte per 4 KB of user data"), kept as the ablation baseline.
+
+Both expose the same interface; Mux charges their (different) lookup costs
+from :mod:`repro.core.calibration`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.fscommon.extents import ExtentTree
+
+#: (first_block, count, tier_id or None-for-hole)
+BltRun = Tuple[int, int, Optional[int]]
+
+
+class BlockLookupTable(ABC):
+    """Per-file map from file block index to owning tier."""
+
+    @abstractmethod
+    def lookup(self, block: int) -> Optional[int]:
+        """Tier id storing ``block``, or None for a hole."""
+
+    @abstractmethod
+    def map_range(self, start: int, count: int, tier_id: int) -> None:
+        """Assign [start, start+count) to ``tier_id``."""
+
+    @abstractmethod
+    def unmap_range(self, start: int, count: int) -> None:
+        """Mark [start, start+count) as holes."""
+
+    @abstractmethod
+    def runs(self, start: int, count: int) -> Iterator[BltRun]:
+        """Decompose a range into per-tier runs (holes -> tier None)."""
+
+    @abstractmethod
+    def lookup_cost_ns(self, runs_touched: int, blocks_touched: int) -> int:
+        """CPU cost of a lookup spanning the given runs/blocks."""
+
+    @abstractmethod
+    def tiers_used(self) -> List[int]:
+        """Sorted tier ids that own at least one block."""
+
+    @abstractmethod
+    def blocks_on(self, tier_id: int) -> int:
+        """Number of blocks currently owned by ``tier_id``."""
+
+    @abstractmethod
+    def mapped_blocks(self) -> int:
+        """Total mapped (non-hole) blocks."""
+
+    @abstractmethod
+    def end_block(self) -> int:
+        """One past the highest mapped block."""
+
+    def memory_bytes(self) -> int:
+        """Approximate metadata footprint (space-overhead accounting)."""
+        return 0
+
+
+class ExtentBlt(BlockLookupTable):
+    """Extent-tree BLT (the paper's design)."""
+
+    def __init__(self) -> None:
+        self._tree = ExtentTree(value_is_offset=False)
+        self._per_tier: Dict[int, int] = {}
+
+    def lookup(self, block: int) -> Optional[int]:
+        return self._tree.lookup(block)
+
+    def map_range(self, start: int, count: int, tier_id: int) -> None:
+        for run_start, run_len, old in list(self._tree.runs(start, count)):
+            if old is not None:
+                self._per_tier[old] -= run_len
+        self._tree.map_range(start, count, tier_id)
+        self._per_tier[tier_id] = self._per_tier.get(tier_id, 0) + count
+
+    def unmap_range(self, start: int, count: int) -> None:
+        for run_start, run_len, old in list(self._tree.runs(start, count)):
+            if old is not None:
+                self._per_tier[old] -= run_len
+        self._tree.unmap_range(start, count)
+
+    def runs(self, start: int, count: int) -> Iterator[BltRun]:
+        return self._tree.runs(start, count)
+
+    def lookup_cost_ns(self, runs_touched: int, blocks_touched: int) -> int:
+        from repro.core import calibration as cal
+
+        return cal.MUX_BLT_LOOKUP_NS + cal.MUX_BLT_RUN_NS * max(0, runs_touched - 1)
+
+    def tiers_used(self) -> List[int]:
+        return sorted(t for t, n in self._per_tier.items() if n > 0)
+
+    def blocks_on(self, tier_id: int) -> int:
+        return max(0, self._per_tier.get(tier_id, 0))
+
+    def mapped_blocks(self) -> int:
+        return self._tree.mapped_blocks
+
+    def end_block(self) -> int:
+        return self._tree.end_block()
+
+    def memory_bytes(self) -> int:
+        # one extent record: start + count + value + node overhead
+        return len(self._tree) * 32
+
+    def check_invariants(self) -> None:
+        self._tree.check_invariants()
+        recount: Dict[int, int] = {}
+        for ext in self._tree:
+            recount[ext.value] = recount.get(ext.value, 0) + ext.count
+        for tier, n in recount.items():
+            assert self._per_tier.get(tier, 0) == n, (tier, n, self._per_tier)
+
+
+class ByteArrayBlt(BlockLookupTable):
+    """Flat one-byte-per-block BLT (§2.3's space estimate; ablation)."""
+
+    HOLE = 0xFF
+
+    def __init__(self) -> None:
+        self._table = bytearray()
+
+    def _grow_to(self, blocks: int) -> None:
+        if len(self._table) < blocks:
+            self._table.extend(bytes([self.HOLE]) * (blocks - len(self._table)))
+
+    def lookup(self, block: int) -> Optional[int]:
+        if block >= len(self._table):
+            return None
+        value = self._table[block]
+        return None if value == self.HOLE else value
+
+    def map_range(self, start: int, count: int, tier_id: int) -> None:
+        if not 0 <= tier_id < self.HOLE:
+            raise ValueError(f"tier id {tier_id} does not fit in one byte")
+        self._grow_to(start + count)
+        self._table[start : start + count] = bytes([tier_id]) * count
+
+    def unmap_range(self, start: int, count: int) -> None:
+        end = min(start + count, len(self._table))
+        if end > start:
+            self._table[start:end] = bytes([self.HOLE]) * (end - start)
+
+    def runs(self, start: int, count: int) -> Iterator[BltRun]:
+        pos = start
+        end = start + count
+        while pos < end:
+            tier = self.lookup(pos)
+            run = 1
+            while pos + run < end and self.lookup(pos + run) == tier:
+                run += 1
+            yield pos, run, tier
+            pos += run
+
+    def lookup_cost_ns(self, runs_touched: int, blocks_touched: int) -> int:
+        from repro.core import calibration as cal
+
+        return cal.MUX_BLT_BYTEARRAY_PER_BLOCK_NS * max(1, blocks_touched)
+
+    def tiers_used(self) -> List[int]:
+        return sorted({b for b in self._table if b != self.HOLE})
+
+    def blocks_on(self, tier_id: int) -> int:
+        return sum(1 for b in self._table if b == tier_id)
+
+    def mapped_blocks(self) -> int:
+        return sum(1 for b in self._table if b != self.HOLE)
+
+    def end_block(self) -> int:
+        for i in range(len(self._table) - 1, -1, -1):
+            if self._table[i] != self.HOLE:
+                return i + 1
+        return 0
+
+    def memory_bytes(self) -> int:
+        return len(self._table)

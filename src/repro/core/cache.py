@@ -1,0 +1,163 @@
+"""SCM cache manager (§2.5).
+
+Mux uses a persistent-memory tier as a *shared* cache for the slower tiers
+(the per-FS DRAM page caches cannot be shared across devices).  Per the
+paper, the cache lives in **one preallocated cache file** on the SCM file
+system, accessed through **DAX memory mapping** so cached reads bypass the
+file-system call path entirely, and replacement uses Multi-generational
+LRU.
+
+The model does exactly that: at attach time it creates and preallocates
+``/.mux_cache`` through the PM tier's file system (charging the real
+allocation cost), resolves the file's device blocks once (the "mmap"), and
+thereafter serves hits and fills with raw PM loads/stores plus the small
+bookkeeping costs from :mod:`repro.core.calibration`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import calibration as cal
+from repro.core.mglru import MultiGenLru
+from repro.devices.pm import PersistentMemoryDevice
+from repro.errors import ReproError
+from repro.fs.nova import NovaFileSystem
+from repro.sim.clock import SimClock
+from repro.sim.stats import CounterSet
+from repro.vfs.interface import FileSystem, OpenFlags
+
+CACHE_FILE = "/.mux_cache"
+
+CacheKey = Tuple[int, int]  # (mux ino, file block)
+
+
+class ScmCacheManager:
+    """Shared block cache in a DAX-mapped file on the SCM tier."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        scm_fs: FileSystem,
+        capacity_blocks: int,
+        block_size: int,
+        num_generations: int = 4,
+    ) -> None:
+        if capacity_blocks <= 0:
+            raise ValueError("cache needs positive capacity")
+        self.clock = clock
+        self.block_size = block_size
+        self.capacity_blocks = capacity_blocks
+        self.stats = CounterSet()
+        self._mglru: MultiGenLru[CacheKey] = MultiGenLru(
+            capacity_blocks, num_generations
+        )
+        #: key -> slot index in the cache file
+        self._slots: Dict[CacheKey, int] = {}
+        self._free_slots: List[int] = list(range(capacity_blocks - 1, -1, -1))
+        self._pm, self._slot_addrs = self._map_cache_file(scm_fs)
+
+    def _map_cache_file(
+        self, scm_fs: FileSystem
+    ) -> Tuple[PersistentMemoryDevice, List[int]]:
+        """Create + preallocate the cache file; resolve its DAX addresses."""
+        if not isinstance(scm_fs, NovaFileSystem):
+            raise ReproError(
+                "the SCM cache needs a DAX-capable (NOVA) file system"
+            )
+        if scm_fs.exists(CACHE_FILE):
+            scm_fs.unlink(CACHE_FILE)
+        handle = scm_fs.create(CACHE_FILE)
+        try:
+            # preallocate: write zeros so every slot has a PM block
+            zero = bytes(self.block_size)
+            chunk_blocks = 256
+            written = 0
+            while written < self.capacity_blocks:
+                n = min(chunk_blocks, self.capacity_blocks - written)
+                scm_fs.write(handle, written * self.block_size, zero * n)
+                written += n
+            inode = scm_fs.inodes.get(handle.ino)
+            addrs: List[int] = []
+            for slot in range(self.capacity_blocks):
+                dev_block = inode.blockmap.lookup(slot)
+                if dev_block is None:
+                    raise ReproError("cache preallocation left a hole")
+                addrs.append(dev_block * self.block_size)
+        finally:
+            scm_fs.close(handle)
+        return scm_fs.pm, addrs
+
+    # -- lookups -----------------------------------------------------------
+
+    def get(self, ino: int, file_block: int) -> Optional[bytes]:
+        """Cached block contents, or None.  Hits are DAX loads."""
+        self.clock.advance_ns(cal.CACHE_LOOKUP_NS)
+        key = (ino, file_block)
+        slot = self._slots.get(key)
+        if slot is None:
+            self.stats.add("miss")
+            return None
+        self._mglru.touch(key)
+        self.clock.advance_ns(cal.CACHE_MGLRU_NS)
+        self.stats.add("hit")
+        return self._pm.load(self._slot_addrs[slot], self.block_size)
+
+    # -- fills / invalidation ----------------------------------------------------
+
+    def put(self, ino: int, file_block: int, data: bytes) -> None:
+        """Insert a (clean) block read from a slow tier."""
+        if len(data) != self.block_size:
+            raise ValueError("cache stores whole blocks")
+        self.clock.advance_ns(
+            cal.CACHE_LOOKUP_NS + cal.CACHE_MGLRU_NS + cal.CACHE_SLOT_META_NS
+        )
+        key = (ino, file_block)
+        slot = self._slots.get(key)
+        if slot is None:
+            for victim in self._mglru.insert(key):
+                self._free_slots.append(self._slots.pop(victim))
+                self.stats.add("evict")
+            slot = self._free_slots.pop()
+            self._slots[key] = slot
+            self.stats.add("fill")
+        addr = self._slot_addrs[slot]
+        self._pm.store(addr, data)
+        self._pm.flush_range(addr, len(data))
+
+    def invalidate(self, ino: int, file_block: int) -> bool:
+        """Drop a block (called on writes so the cache never serves stale data)."""
+        key = (ino, file_block)
+        slot = self._slots.pop(key, None)
+        if slot is None:
+            return False
+        self._mglru.remove(key)
+        self._free_slots.append(slot)
+        self.stats.add("invalidate")
+        return True
+
+    def invalidate_file(self, ino: int) -> int:
+        """Drop every cached block of a file (unlink/truncate)."""
+        dropped = 0
+        for key in [k for k in self._slots if k[0] == ino]:
+            self.invalidate(key[0], key[1])
+            dropped += 1
+        return dropped
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def cached_blocks(self) -> int:
+        return len(self._slots)
+
+    def hit_ratio(self) -> float:
+        hits = self.stats.get("hit")
+        total = hits + self.stats.get("miss")
+        return hits / total if total else 0.0
+
+    def check_invariants(self) -> None:
+        self._mglru.check_invariants()
+        assert len(self._slots) + len(self._free_slots) == self.capacity_blocks
+        assert len(set(self._slots.values())) == len(self._slots)
+        for key in self._slots:
+            assert key in self._mglru

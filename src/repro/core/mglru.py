@@ -1,0 +1,132 @@
+"""Multi-generational LRU (§2.5).
+
+"We use Multi-generational LRU for cache replacement, which is also the
+algorithm Linux uses for its page caches."
+
+The model keeps ``num_generations`` ordered generations; new entries enter
+the youngest generation, accessed entries are promoted back to it, and
+eviction takes the head (least recent) of the *oldest* non-empty
+generation.  Aging shifts every generation down one step whenever the
+youngest generation grows past its share of the capacity, which is the
+essential behaviour of the kernel's lru_gen: recency is tracked in coarse
+generation buckets rather than by precise list reordering.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Generic, Hashable, List, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class MultiGenLru(Generic[K]):
+    """Fixed-capacity multi-generational LRU over hashable keys."""
+
+    def __init__(self, capacity: int, num_generations: int = 4) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if num_generations < 2:
+            raise ValueError("need at least 2 generations")
+        self.capacity = capacity
+        self.num_generations = num_generations
+        #: index 0 = youngest generation
+        self._gens: List["OrderedDict[K, None]"] = [
+            OrderedDict() for _ in range(num_generations)
+        ]
+        self._where: Dict[K, int] = {}
+        self.ages = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._where
+
+    @property
+    def generation_sizes(self) -> List[int]:
+        return [len(g) for g in self._gens]
+
+    def generation_of(self, key: K) -> Optional[int]:
+        return self._where.get(key)
+
+    # -- operations --------------------------------------------------------
+
+    def touch(self, key: K) -> bool:
+        """Record an access: promote to the youngest generation.
+
+        Returns False if the key is not cached.
+        """
+        gen = self._where.get(key)
+        if gen is None:
+            return False
+        if gen != 0:
+            del self._gens[gen][key]
+            self._gens[0][key] = None
+            self._where[key] = 0
+        else:
+            self._gens[0].move_to_end(key)
+        return True
+
+    def insert(self, key: K) -> List[K]:
+        """Insert ``key`` (idempotent: re-insert = touch); returns evictees."""
+        if key in self._where:
+            self.touch(key)
+            return []
+        evicted: List[K] = []
+        while len(self._where) >= self.capacity:
+            victim = self._evict_one()
+            if victim is None:
+                break
+            evicted.append(victim)
+        self._gens[0][key] = None
+        self._where[key] = 0
+        if len(self._gens[0]) > max(1, self.capacity // self.num_generations):
+            self.age()
+        return evicted
+
+    def remove(self, key: K) -> bool:
+        """Explicitly drop a key (invalidation)."""
+        gen = self._where.pop(key, None)
+        if gen is None:
+            return False
+        del self._gens[gen][key]
+        return True
+
+    def age(self) -> None:
+        """Shift every generation one step older; oldest two merge."""
+        oldest = self._gens[-1]
+        second = self._gens[-2]
+        for key in second:
+            oldest[key] = None
+            self._where[key] = self.num_generations - 1
+        merged = oldest
+        self._gens = (
+            [OrderedDict()] + self._gens[:-2] + [merged]
+        )
+        for gen_index, gen in enumerate(self._gens):
+            for key in gen:
+                self._where[key] = gen_index
+        self.ages += 1
+
+    def _evict_one(self) -> Optional[K]:
+        for gen_index in range(self.num_generations - 1, -1, -1):
+            gen = self._gens[gen_index]
+            if gen:
+                key, _ = gen.popitem(last=False)
+                del self._where[key]
+                self.evictions += 1
+                return key
+        return None
+
+    # -- invariants (property tests) -------------------------------------------
+
+    def check_invariants(self) -> None:
+        assert len(self._where) <= self.capacity
+        seen: Dict[K, int] = {}
+        for gen_index, gen in enumerate(self._gens):
+            for key in gen:
+                assert key not in seen, f"{key!r} in generations {seen[key]} and {gen_index}"
+                seen[key] = gen_index
+        assert seen == self._where

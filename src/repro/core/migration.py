@@ -1,0 +1,128 @@
+"""Policy Runner / data movement engine (Figure 1c).
+
+Executes :class:`~repro.core.policy.MigrationOrder`s produced by the
+tiering policy, asynchronously (as cooperative tasks interleavable with
+user operations) or synchronously (for benchmarks that measure steady-state
+migration throughput).
+
+Per the paper's extensibility claim (Figure 3a), Mux supports migration
+between *every* pair of registered tiers: "supporting a migration path
+takes a single line of code to invoke the migration function", because the
+VFS abstracts device details away.  There is deliberately no per-pair
+wiring here — contrast with :mod:`repro.strata`, which models Strata's
+static routing and reports N/S for unwired pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.metadata import CollectiveInode
+from repro.core.occ import MigrationResult, OccSynchronizer
+from repro.core.policy import MigrationOrder
+from repro.errors import MigrationError
+from repro.sim.stats import CounterSet
+from repro.sim.tasks import Task, TaskRunner
+
+
+@dataclass
+class PairStats:
+    """Accumulated migration traffic for one (src, dst) tier pair."""
+
+    bytes_moved: int = 0
+    busy_ns: int = 0
+    migrations: int = 0
+
+    def throughput_mb_s(self) -> float:
+        """Steady-state MB/s over the simulated time spent migrating."""
+        if self.busy_ns == 0:
+            return 0.0
+        return (self.bytes_moved / 1e6) / (self.busy_ns / 1e9)
+
+
+class MigrationEngine:
+    """Runs migrations through the OCC synchronizer."""
+
+    def __init__(self, mux) -> None:  # mux: MuxFileSystem (circular type)
+        self._mux = mux
+        self.occ = OccSynchronizer(mux)
+        self.runner = TaskRunner()
+        self.stats = CounterSet()
+        self.pair_stats: Dict[Tuple[int, int], PairStats] = {}
+
+    # -- capability -------------------------------------------------------
+
+    def supports(self, src_tier: int, dst_tier: int) -> bool:
+        """Mux supports every pair of registered tiers (Figure 3a)."""
+        tiers = self._mux.tier_ids()
+        return src_tier in tiers and dst_tier in tiers and src_tier != dst_tier
+
+    # -- async execution ------------------------------------------------------
+
+    def submit(self, order: MigrationOrder) -> Task:
+        """Start an asynchronous migration; returns its cooperative task."""
+        self._validate(order)
+        inode = self._mux.inode_by_ino(order.ino)
+        gen = self._run_tracked(inode, order)
+        return self.runner.spawn(gen, name=f"mig-{order.ino}-{order.block_start}")
+
+    def tick(self) -> int:
+        """Advance every in-flight migration one step."""
+        return self.runner.tick()
+
+    def drain(self) -> None:
+        """Run all in-flight migrations to completion."""
+        self.runner.drain()
+
+    # -- sync execution -----------------------------------------------------------
+
+    def migrate_now(self, order: MigrationOrder) -> MigrationResult:
+        """Run one migration to completion immediately (benchmark helper)."""
+        self._validate(order)
+        inode = self._mux.inode_by_ino(order.ino)
+        task = Task(self._run_tracked(inode, order))
+        return task.join()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _validate(self, order: MigrationOrder) -> None:
+        if not self.supports(order.src_tier, order.dst_tier):
+            raise MigrationError(
+                f"bad migration pair {order.src_tier}->{order.dst_tier}"
+            )
+        if order.count <= 0 or order.block_start < 0:
+            raise MigrationError(f"bad block range in {order}")
+
+    def _run_tracked(self, inode: CollectiveInode, order: MigrationOrder):
+        """Wrap the OCC generator with per-pair accounting."""
+        # capacity gate: never start a movement the destination cannot hold
+        dst = self._mux.registry.get(order.dst_tier)
+        need = min(order.count, inode.blt.blocks_on(order.src_tier))
+        if not self._mux._tier_has_room(dst, need * self._mux.block_size):
+            self.stats.add("skipped_no_space")
+            return MigrationResult(aborted_no_space=True)
+        pair = (order.src_tier, order.dst_tier)
+        stats = self.pair_stats.setdefault(pair, PairStats())
+        started_ns = self._mux.clock.now_ns
+        result = yield from self.occ.migrate(
+            inode, order.block_start, order.count, order.src_tier, order.dst_tier
+        )
+        stats.bytes_moved += result.bytes_moved
+        stats.busy_ns += self._mux.clock.now_ns - started_ns
+        stats.migrations += 1
+        self.stats.add("migrations")
+        self.stats.add("blocks_moved", result.moved_blocks)
+        self.stats.add("occ_attempts", result.attempts)
+        self.stats.add("conflicts", result.conflicts)
+        if result.lock_fallback:
+            self.stats.add("lock_fallbacks")
+        return result
+
+    def throughput_matrix(self) -> Dict[Tuple[int, int], float]:
+        """(src, dst) -> MB/s for every pair that has moved data."""
+        return {
+            pair: stats.throughput_mb_s()
+            for pair, stats in self.pair_stats.items()
+            if stats.bytes_moved
+        }

@@ -1,0 +1,1092 @@
+"""Mux: a tiered file system that talks to file systems, not device drivers.
+
+``MuxFileSystem`` implements the VFS-facing :class:`FileSystem` interface
+upward and *consumes the same interface* downward: every data operation is
+split according to the per-file Block Lookup Table and delegated to the
+native file systems registered as tiers, "by calling the same VFS function
+that invokes it, but with different file handles, lengths, and offsets"
+(§2.1).
+
+Components (Figure 1c):
+
+* **VFS Call Processor** — the public methods of this class;
+* **FS Multiplexer / VFS Call Maker** — :meth:`_dispatch_read` /
+  :meth:`_dispatch_write` plus the I/O scheduler;
+* **File Blk. Tracker** — the per-file Block Lookup Table (§2.2);
+* **Metadata Tracker** — collective inodes + metadata affinity (§2.3);
+* **State Bookkeeper** — the metafile writer that lazily persists Mux's
+  own metadata to the fastest tier;
+* **OCC Synchronizer & Policy Runner** — the migration engine (§2.4);
+* **Cache Controller** — the SCM cache manager (§2.5).
+
+Files are backed by *sparse files of the same path* on each participating
+tier, preserving file offsets so no extra translation layer is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import calibration as cal
+from repro.core.blt import BlockLookupTable, ExtentBlt
+from repro.core.cache import ScmCacheManager
+from repro.core.metadata import CollectiveInode, MuxNamespace
+from repro.core.migration import MigrationEngine
+from repro.core.policy import (
+    MigrationOrder,
+    FileView,
+    PlacementRequest,
+    Policy,
+    TierState,
+)
+from repro.core.policies import LruTieringPolicy
+from repro.core.registry import Tier, TierRegistry
+from repro.core.scheduler import IoScheduler, SubRequest
+from repro.devices.profile import DeviceKind, DeviceProfile
+from repro.errors import (
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NoSpace,
+    PolicyError,
+    ReproError,
+)
+from repro.fs.nova import NovaFileSystem
+from repro.sim.clock import SimClock
+from repro.sim.stats import CounterSet
+from repro.vfs import path as vpath
+from repro.vfs.interface import FileHandle, FileSystem, OpenFlags, attrs_for_update
+from repro.vfs.stat import FsStats, Stat
+from repro.vfs.vfs import VFS
+
+META_FILE = "/.mux_meta"
+
+
+class MuxMetaWriter:
+    """State Bookkeeper: lazily persists Mux metadata records (§2.3).
+
+    Mux's own metadata (BLT deltas, affinity changes, collective-inode
+    attributes) is appended to a metafile on a chosen tier; records are
+    batched and made durable (append + fsync) every
+    ``META_SYNC_RECORDS`` records — the paper's lazy synchronization.
+    """
+
+    def __init__(self, fs: FileSystem, clock: SimClock) -> None:
+        self.fs = fs
+        self.clock = clock
+        if fs.exists(META_FILE):
+            fs.unlink(META_FILE)
+        self._handle = fs.create(META_FILE)
+        self._offset = 0
+        self._buffered = 0
+        self.stats = CounterSet()
+
+    def note(self, records: int = 1) -> None:
+        """Buffer ``records`` metadata records; flush on the sync interval."""
+        self._buffered += records
+        self.stats.add("records", records)
+        if self._buffered >= cal.META_SYNC_RECORDS:
+            self.flush()
+
+    #: the metafile is a circular log: once it reaches this size, appends
+    #: wrap (a real implementation would checkpoint + truncate)
+    MAX_BYTES = 4 * 1024 * 1024
+
+    def flush(self, durable: bool = True) -> None:
+        """Append buffered records to the metafile.
+
+        ``durable=False`` writes the records but skips the explicit fsync —
+        used when the caller is about to fsync data on the same file
+        system, whose (file-system-global) journal commit covers the
+        metafile update too.
+        """
+        if self._buffered == 0:
+            return
+        payload = bytes(self._buffered * cal.META_RECORD_BYTES)
+        if self._offset + len(payload) > self.MAX_BYTES:
+            self._offset = 0
+        self.fs.write(self._handle, self._offset, payload)
+        if durable:
+            self.fs.fsync(self._handle)
+        self._offset += len(payload)
+        self._buffered = 0
+        self.stats.add("flushes")
+
+    def close(self) -> None:
+        self.flush()
+        if self._handle.is_open:
+            self.fs.close(self._handle)
+
+
+class MuxFileSystem(FileSystem):
+    """The Mux tiered file system."""
+
+    fs_name = "mux"
+
+    def __init__(
+        self,
+        vfs: VFS,
+        clock: SimClock,
+        policy: Optional[Policy] = None,
+        *,
+        blt_factory=ExtentBlt,
+        enable_cache: bool = True,
+        cache_fraction: float = 0.25,
+        scheduler: Optional[IoScheduler] = None,
+    ) -> None:
+        self.vfs = vfs
+        self.clock = clock
+        self.policy = policy if policy is not None else LruTieringPolicy()
+        self.blt_factory = blt_factory
+        self.enable_cache = enable_cache
+        self.cache_fraction = cache_fraction
+        self.scheduler = scheduler if scheduler is not None else IoScheduler()
+        self.registry = TierRegistry()
+        self.ns = MuxNamespace(clock.now())
+        self.engine = MigrationEngine(self)
+        self.cache: Optional[ScmCacheManager] = None
+        self.block_size = 0
+        self.stats = CounterSet()
+        self._meta: Optional[MuxMetaWriter] = None
+        #: optional per-op latency histograms (see enable_latency_recording)
+        self.latencies: Optional[Dict[str, object]] = None
+        #: optional QoS manager (quotas + class placement, §4)
+        self.qos = None
+
+    def enable_qos(self):
+        """Attach a :class:`~repro.core.qos.QosManager`; returns it."""
+        from repro.core.qos import QosManager
+
+        self.qos = QosManager(self.clock)
+        return self.qos
+
+    def set_placement(self, path: str, tier_id: Optional[int]) -> None:
+        """Pin future writes of one file to a tier (None clears the pin).
+
+        Existing blocks are not moved; submit a migration order for that.
+        """
+        inode = self.ns.resolve(path)
+        if tier_id is not None:
+            self.registry.get(tier_id)  # validates
+        inode.pinned_tier = tier_id
+
+    def enable_latency_recording(self) -> None:
+        """Collect per-operation latency histograms in ``self.latencies``."""
+        from repro.sim.histogram import LatencyHistogram
+
+        self.latencies = {"read": LatencyHistogram(), "write": LatencyHistogram()}
+
+    def _record_latency(self, op: str, started_ns: int) -> None:
+        if self.latencies is not None:
+            self.latencies[op].record(self.clock.now_ns - started_ns)
+
+    # ==================================================================
+    # tier management (§2.1: add/remove at runtime)
+    # ==================================================================
+
+    def add_tier(
+        self,
+        name: str,
+        fs: FileSystem,
+        mount: str,
+        profile: DeviceProfile,
+        rank: Optional[int] = None,
+    ) -> Tier:
+        """Register a mounted native file system as a tier."""
+        resolved, _ = self.vfs.resolve(mount)
+        if resolved is not fs:
+            raise InvalidArgument(f"{mount!r} does not resolve to {fs.fs_name!r}")
+        fs_block = getattr(fs, "block_size", None)
+        if fs_block is None:
+            raise InvalidArgument("tier file system must expose block_size")
+        if self.block_size and fs_block != self.block_size:
+            raise InvalidArgument(
+                f"tier block size {fs_block} != mux block size {self.block_size}"
+            )
+        self.block_size = fs_block
+        tier = self.registry.add(name, fs, mount, profile, rank)
+        self._refresh_cache_and_meta()
+        return tier
+
+    def remove_tier(self, tier_id: int) -> None:
+        """Detach a tier after migrating all of its data off (§2.1)."""
+        victim = self.registry.get(tier_id)
+        refuges = [t for t in self.registry.ordered() if t.tier_id != tier_id]
+        if not refuges:
+            raise InvalidArgument("cannot remove the last tier")
+        for inode in list(self.ns.files()):
+            blocks = inode.blt.blocks_on(tier_id)
+            if blocks == 0:
+                continue
+            dst = self._pick_refuge(refuges, blocks * self.block_size)
+            end = inode.blt.end_block()
+            self.engine.migrate_now(
+                MigrationOrder(
+                    inode.ino, 0, end, tier_id, dst.tier_id, reason="remove-tier"
+                )
+            )
+            if inode.blt.blocks_on(tier_id):
+                raise ReproError(f"tier {tier_id} still holds data for {inode.ino}")
+            handle = inode.tier_handles.pop(tier_id, None)
+            if handle is not None and handle.is_open:
+                self.vfs.close(handle)
+            inode.tiers_present.discard(tier_id)
+        # no file may keep any reference to the departed tier: metadata
+        # affinity moves to the fastest remaining tier, stale handles close
+        fallback = refuges[0]
+        for inode in self.ns.files():
+            for attr, owner in inode.affinity.owners().items():
+                if owner == tier_id:
+                    inode.affinity.set_owner(attr, fallback.tier_id)
+            if inode.pinned_tier == tier_id:
+                inode.pinned_tier = None
+            handle = inode.tier_handles.pop(tier_id, None)
+            if handle is not None and handle.is_open:
+                self.vfs.close(handle)
+            inode.tiers_present.discard(tier_id)
+        if self.cache is not None and victim.kind is DeviceKind.PERSISTENT_MEMORY:
+            # the cache lived on the departing tier; drop it
+            self.cache = None
+        self.registry.remove(tier_id)
+        self._refresh_cache_and_meta()
+
+    def _pick_refuge(self, refuges: List[Tier], need_bytes: int) -> Tier:
+        for tier in refuges:  # fastest first
+            if tier.fs.statfs().free_bytes >= need_bytes * 2:
+                return tier
+        raise NoSpace("no remaining tier can absorb the evacuated data")
+
+    def _refresh_cache_and_meta(self) -> None:
+        """(Re)provision the SCM cache and the metafile on the fastest tier."""
+        if len(self.registry) == 0:
+            return
+        fastest = self.registry.fastest()
+        if self._meta is None or self._meta.fs is not fastest.fs:
+            if self._meta is not None:
+                self._meta.close()
+            self._meta = MuxMetaWriter(fastest.fs, self.clock)
+        if not self.enable_cache or self.cache is not None:
+            return
+        scm_tiers = [
+            t
+            for t in self.registry.ordered()
+            if t.kind is DeviceKind.PERSISTENT_MEMORY
+            and isinstance(t.fs, NovaFileSystem)
+        ]
+        slower = [t for t in self.registry.ordered() if t.rank > 0]
+        if scm_tiers and slower:
+            scm = scm_tiers[0]
+            free_blocks = scm.fs.statfs().free_blocks
+            capacity = max(16, int(free_blocks * self.cache_fraction))
+            self.cache = ScmCacheManager(
+                self.clock, scm.fs, capacity, self.block_size
+            )
+            self._cache_tier_rank = scm.rank
+
+    def tier_ids(self) -> List[int]:
+        return self.registry.ids()
+
+    def tier_states(self) -> List[TierState]:
+        return self.registry.states()
+
+    def inode_by_ino(self, ino: int) -> CollectiveInode:
+        return self.ns.get(ino)
+
+    # ==================================================================
+    # delegation plumbing (FS Multiplexer)
+    # ==================================================================
+
+    def _tier_path(self, tier: Tier, inode: CollectiveInode) -> str:
+        return vpath.join(tier.mount, inode.rel_path.lstrip("/"))
+
+    def _ensure_tier_dirs(self, tier: Tier, rel_path: str) -> None:
+        """mkdir -p the parents of ``rel_path`` on one tier."""
+        parent = vpath.dirname(rel_path)
+        if parent == "/":
+            return
+        stack: List[str] = []
+        probe = parent
+        while probe != "/":
+            full = vpath.join(tier.mount, probe.lstrip("/"))
+            if self.vfs.exists(full):
+                break
+            stack.append(probe)
+            probe = vpath.dirname(probe)
+        for rel in reversed(stack):
+            self.vfs.mkdir(vpath.join(tier.mount, rel.lstrip("/")))
+
+    def _tier_handle(
+        self, inode: CollectiveInode, tier: Tier, create: bool = True
+    ) -> FileHandle:
+        """The cached open handle for a file's backing file on one tier."""
+        handle = inode.tier_handles.get(tier.tier_id)
+        if handle is not None and handle.is_open:
+            return handle
+        full = self._tier_path(tier, inode)
+        flags = OpenFlags.RDWR | (OpenFlags.CREAT if create else 0)
+        if create and not self.vfs.exists(full):
+            self._ensure_tier_dirs(tier, inode.rel_path)
+        handle = self.vfs.open(full, flags)
+        inode.tier_handles[tier.tier_id] = handle
+        inode.tiers_present.add(tier.tier_id)
+        return handle
+
+    def _close_tier_handles(self, inode: CollectiveInode) -> None:
+        for handle in inode.tier_handles.values():
+            if handle.is_open:
+                self.vfs.close(handle)
+        inode.tier_handles.clear()
+
+    # -- raw per-tier I/O (used by the OCC synchronizer) -----------------------
+
+    def tier_read_raw(
+        self, inode: CollectiveInode, tier_id: int, offset: int, length: int
+    ) -> bytes:
+        self.clock.advance_ns(cal.MUX_DISPATCH_NS)
+        tier = self.registry.get(tier_id)
+        handle = self._tier_handle(inode, tier)
+        data = self.vfs.read(handle, offset, length)
+        if len(data) < length:  # sparse tail: the hole reads as zeros
+            data += bytes(length - len(data))
+        return data
+
+    def tier_write_raw(
+        self, inode: CollectiveInode, tier_id: int, offset: int, data: bytes
+    ) -> None:
+        self.clock.advance_ns(cal.MUX_DISPATCH_NS)
+        tier = self.registry.get(tier_id)
+        handle = self._tier_handle(inode, tier)
+        self.vfs.write(handle, offset, data)
+
+    def tier_punch(
+        self, inode: CollectiveInode, tier_id: int, block_start: int, count: int
+    ) -> None:
+        tier = self.registry.get(tier_id)
+        handle = self._tier_handle(inode, tier, create=False)
+        self.vfs.punch_hole(
+            handle, block_start * self.block_size, count * self.block_size
+        )
+
+    def tier_fsync(self, inode: CollectiveInode, tier_id: int) -> None:
+        tier = self.registry.get(tier_id)
+        handle = self._tier_handle(inode, tier, create=False)
+        self.vfs.fsync(handle)
+
+    def blt_commit_move(
+        self,
+        inode: CollectiveInode,
+        blocks: List[int],
+        src_tier: int,
+        dst_tier: int,
+    ) -> None:
+        """Atomically flip committed blocks in the BLT (called by OCC)."""
+        from repro.core.occ import _contiguous_spans
+
+        for start, count in _contiguous_spans(blocks):
+            inode.blt.map_range(start, count, dst_tier)
+            if self.cache is not None:
+                for fb in range(start, start + count):
+                    self.cache.invalidate(inode.ino, fb)
+        if self._meta is not None:
+            self._meta.note(2)
+
+    # ==================================================================
+    # namespace operations
+    # ==================================================================
+
+    def _charge_base(self) -> None:
+        self.clock.advance_ns(cal.MUX_OP_BASE_NS)
+
+    def create(self, path: str, mode: int = 0o644) -> FileHandle:
+        self._charge_base()
+        now = self.clock.now()
+        initial = self._place(
+            PlacementRequest(path, 0, 0, 0, 0, is_append=True)
+        )
+        inode = self.ns.create_file(
+            path, now, mode, initial.tier_id, blt=self.blt_factory()
+        )
+        inode.rel_path = vpath.normalize(path)
+        # the host file system becomes affinitive for all metadata (§2.3)
+        self._tier_handle(inode, initial, create=True)
+        if self._meta is not None:
+            self._meta.note(2)
+            self._meta.flush()  # namespace changes persist immediately
+        self.stats.add("create")
+        return self._make_handle(inode, path, OpenFlags.RDWR)
+
+    def _make_handle(self, inode: CollectiveInode, path: str, flags: int) -> FileHandle:
+        return FileHandle(self, inode.ino, vpath.normalize(path), flags)
+
+    def open(self, path: str, flags: int = OpenFlags.RDWR) -> FileHandle:
+        self._charge_base()
+        self.check_flags(flags)
+        try:
+            inode = self.ns.resolve(path)
+        except FileNotFound:
+            if not flags & OpenFlags.CREAT:
+                raise
+            handle = self.create(path)
+            handle.flags = flags
+            return handle
+        if inode.is_dir:
+            raise IsADirectory(f"mux: {path!r} is a directory")
+        handle = self._make_handle(inode, path, flags)
+        if flags & OpenFlags.TRUNC and OpenFlags.writable(flags):
+            self.truncate(handle, 0)
+        self.stats.add("open")
+        return handle
+
+    def close(self, handle: FileHandle) -> None:
+        handle.ensure_open()
+        handle.mark_closed()
+        self.stats.add("close")
+
+    def unlink(self, path: str) -> None:
+        self._charge_base()
+        inode = self.ns.resolve(path)  # raises if absent
+        if inode.is_dir:
+            raise IsADirectory(f"mux: {path!r} is a directory")
+        self._close_tier_handles(inode)
+        for tier_id in sorted(inode.tiers_present):
+            tier = self.registry.get(tier_id)
+            full = self._tier_path(tier, inode)
+            if self.vfs.exists(full):
+                self.vfs.unlink(full)
+        if self.cache is not None:
+            self.cache.invalidate_file(inode.ino)
+        self.policy.forget(inode.ino)
+        self.ns.unlink(path, self.clock.now())
+        if self._meta is not None:
+            self._meta.note(1)
+            self._meta.flush()
+        self.stats.add("unlink")
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        self._charge_base()
+        if vpath.normalize(old_path) == vpath.normalize(new_path):
+            self.ns.resolve(old_path)  # must exist; successful no-op
+            return
+        now = self.clock.now()
+        moving = self.ns.rename(old_path, new_path, now)
+        self._rename_backing(moving, vpath.normalize(new_path))
+        if self._meta is not None:
+            self._meta.note(2)
+            self._meta.flush()
+        self.stats.add("rename")
+
+    def _rename_backing(self, inode: CollectiveInode, new_rel: str) -> None:
+        """Move backing files on every tier; recurse into directories."""
+        old_rel = inode.rel_path
+        inode.rel_path = new_rel
+        if inode.is_dir:
+            for name, child_ino in inode.entries.items():
+                child = self.ns.get(child_ino)
+                self._rename_backing(child, vpath.join(new_rel, name))
+            return
+        for tier_id in sorted(inode.tiers_present):
+            tier = self.registry.get(tier_id)
+            old_full = vpath.join(tier.mount, old_rel.lstrip("/"))
+            if not self.vfs.exists(old_full):
+                continue
+            self._ensure_tier_dirs(tier, new_rel)
+            new_full = vpath.join(tier.mount, new_rel.lstrip("/"))
+            # the backing handle paths change; drop cached handles
+            handle = inode.tier_handles.pop(tier_id, None)
+            if handle is not None and handle.is_open:
+                self.vfs.close(handle)
+            if self.vfs.exists(new_full):
+                self.vfs.unlink(new_full)
+            self.vfs.rename(old_full, new_full)
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self._charge_base()
+        inode = self.ns.mkdir(path, self.clock.now(), mode)
+        inode.rel_path = vpath.normalize(path)
+        if self._meta is not None:
+            self._meta.note(1)
+            self._meta.flush()
+        self.stats.add("mkdir")
+
+    def rmdir(self, path: str) -> None:
+        self._charge_base()
+        self.ns.rmdir(path, self.clock.now())
+        for tier in self.registry.ordered():
+            full = vpath.join(tier.mount, vpath.normalize(path).lstrip("/"))
+            if self.vfs.exists(full):
+                self.vfs.rmdir(full)
+        if self._meta is not None:
+            self._meta.note(1)
+            self._meta.flush()
+        self.stats.add("rmdir")
+
+    def readdir(self, path: str) -> List[str]:
+        self._charge_base()
+        self.stats.add("readdir")
+        # Mux's own namespace is authoritative: the merged view (§2.1)
+        return [n for n in self.ns.readdir(path) if not n.startswith(".mux_")]
+
+    # ==================================================================
+    # data path
+    # ==================================================================
+
+    def read(self, handle: FileHandle, offset: int, length: int) -> bytes:
+        handle.ensure_open()
+        if not OpenFlags.readable(handle.flags):
+            raise InvalidArgument("handle not open for reading")
+        if offset < 0 or length < 0:
+            raise InvalidArgument("negative offset/length")
+        inode = self.ns.get(handle.ino)
+        if inode.is_dir:
+            raise IsADirectory(f"mux: read from directory {handle.path!r}")
+        op_started_ns = self.clock.now_ns
+        self.clock.advance_ns(cal.MUX_OP_BASE_NS + cal.MUX_OCC_CHECK_NS)
+        if offset >= inode.size or length == 0:
+            return b""
+        length = min(length, inode.size - offset)
+        if self.qos is not None:
+            self.qos.charge(handle, length)
+        first_fb = offset // self.block_size
+        last_fb = (offset + length - 1) // self.block_size
+        runs = list(inode.blt.runs(first_fb, last_fb - first_fb + 1))
+        self.clock.advance_ns(
+            inode.blt.lookup_cost_ns(len(runs), last_fb - first_fb + 1)
+        )
+
+        # build per-tier sub-requests (FS Multiplexer)
+        subrequests: List[SubRequest] = []
+        tier_of: Dict[int, int] = {}
+        for run_start, run_len, tier_id in runs:
+            if tier_id is None:
+                continue  # hole: stays zero in the output buffer
+            run_off = max(offset, run_start * self.block_size)
+            run_end = min(offset + length, (run_start + run_len) * self.block_size)
+            if run_end <= run_off:
+                continue
+            subrequests.append(
+                SubRequest(tier_id, run_off, run_end - run_off, run_off - offset)
+            )
+        kinds = {t.tier_id: t.kind for t in self.registry.ordered()}
+        plan = self.scheduler.plan(subrequests, kinds)
+        self.stats.add("split_reads", max(0, len(plan) - 1))
+
+        out = bytearray(length)
+        last_tier: Optional[int] = None
+        for req in plan:
+            self.clock.advance_ns(cal.MUX_DISPATCH_NS)
+            tier = self.registry.get(req.tier_id)
+            self._read_span(inode, tier, req, out)
+            last_tier = req.tier_id
+            self.policy.on_access(
+                inode.ino,
+                req.offset // self.block_size,
+                -(-req.length // self.block_size),
+                req.tier_id,
+                "read",
+                self.clock.now(),
+            )
+
+        # metadata affinity: the FS fetching the last block owns atime (§2.3)
+        now = self.clock.now()
+        inode.atime = now
+        if last_tier is not None:
+            inode.affinity.set_owner("atime", last_tier)
+        self.clock.advance_ns(cal.MUX_AFFINITY_NS)
+        if self._meta is not None:
+            self._meta.note(1)
+        self.stats.add("read")
+        self.stats.add("bytes_read", length)
+        self._record_latency("read", op_started_ns)
+        return bytes(out)
+
+    def _read_span(
+        self, inode: CollectiveInode, tier: Tier, req: SubRequest, out: bytearray
+    ) -> None:
+        """Serve one sub-request, through the SCM cache when applicable."""
+        if self.cache is None or not self._cacheable(tier):
+            handle = self._tier_handle(inode, tier, create=False)
+            data = self.vfs.read(handle, req.offset, req.length)
+            out[req.buffer_offset : req.buffer_offset + len(data)] = data
+            return
+        bs = self.block_size
+        first_fb = req.offset // bs
+        last_fb = (req.offset + req.length - 1) // bs
+        pending_miss: List[int] = []
+
+        def flush_misses() -> None:
+            if not pending_miss:
+                return
+            start_fb = pending_miss[0]
+            n = len(pending_miss)
+            handle = self._tier_handle(inode, tier, create=False)
+            raw = self.vfs.read(handle, start_fb * bs, n * bs)
+            if len(raw) < n * bs:
+                raw += bytes(n * bs - len(raw))
+            for i, fb in enumerate(pending_miss):
+                block = raw[i * bs : (i + 1) * bs]
+                self.cache.put(inode.ino, fb, block)
+                self._copy_block_to_out(block, fb, req, out)
+            pending_miss.clear()
+
+        for fb in range(first_fb, last_fb + 1):
+            block = self.cache.get(inode.ino, fb)
+            if block is None:
+                if pending_miss and fb != pending_miss[-1] + 1:
+                    flush_misses()
+                pending_miss.append(fb)
+            else:
+                flush_misses()
+                self._copy_block_to_out(block, fb, req, out)
+        flush_misses()
+
+    def _copy_block_to_out(
+        self, block: bytes, fb: int, req: SubRequest, out: bytearray
+    ) -> None:
+        bs = self.block_size
+        block_lo = fb * bs
+        lo = max(req.offset, block_lo)
+        hi = min(req.offset + req.length, block_lo + bs)
+        if hi <= lo:
+            return
+        dst = req.buffer_offset + (lo - req.offset)
+        out[dst : dst + (hi - lo)] = block[lo - block_lo : hi - block_lo]
+
+    def _cacheable(self, tier: Tier) -> bool:
+        return (
+            self.cache is not None
+            and tier.rank >= getattr(self, "_cache_tier_rank", 0) + cal.CACHE_MIN_RANK_GAP
+        )
+
+    def write(self, handle: FileHandle, offset: int, data: bytes) -> int:
+        handle.ensure_open()
+        if not OpenFlags.writable(handle.flags):
+            raise InvalidArgument("handle not open for writing")
+        if offset < 0:
+            raise InvalidArgument("negative offset")
+        inode = self.ns.get(handle.ino)
+        if inode.is_dir:
+            raise IsADirectory(f"mux: write to directory {handle.path!r}")
+        op_started_ns = self.clock.now_ns
+        self.clock.advance_ns(cal.MUX_OP_BASE_NS + cal.MUX_OCC_CHECK_NS)
+        if not data:
+            return 0
+        if handle.flags & OpenFlags.APPEND:
+            offset = inode.size
+        bs = self.block_size
+        first_fb = offset // bs
+        last_fb = (offset + len(data) - 1) // bs
+        nblocks = last_fb - first_fb + 1
+        self.clock.advance_ns(inode.blt.lookup_cost_ns(2, nblocks))
+
+        if self.qos is not None:
+            self.qos.charge(handle, len(data))
+
+        # placement: one policy decision per write (§2.1); TPFS-style
+        # policies route on I/O size *and* synchronicity.  Per-file pins
+        # and QoS class pins override the policy.
+        synchronous = bool(handle.flags & OpenFlags.SYNC)
+        forced = inode.pinned_tier
+        if forced is None and self.qos is not None:
+            forced = self.qos.placement_override(handle)
+        if forced is not None and self._tier_has_room(
+            self.registry.get(forced), len(data)
+        ):
+            target = self.registry.get(forced)
+        else:
+            target = self._place(
+                PlacementRequest(
+                    path=handle.path,
+                    ino=inode.ino,
+                    offset=offset,
+                    length=len(data),
+                    file_size=inode.size,
+                    is_append=offset >= inode.size,
+                    synchronous=synchronous,
+                )
+            )
+
+        segments = self._segment_write(inode, offset, data, target.tier_id)
+        extended = offset + len(data) > inode.size
+        last_seg_tier = segments[-1][0]
+        for index, (tier_id, seg_off, seg_data) in enumerate(segments):
+            self.clock.advance_ns(cal.MUX_DISPATCH_NS)
+            tier_id = self._write_segment(inode, tier_id, seg_off, seg_data)
+            if index == len(segments) - 1:
+                last_seg_tier = tier_id
+            seg_first = seg_off // bs
+            seg_last = (seg_off + len(seg_data) - 1) // bs
+            inode.blt.map_range(seg_first, seg_last - seg_first + 1, tier_id)
+            if inode.migration_active:
+                inode.dirty_during_migration.update(range(seg_first, seg_last + 1))
+            if self.cache is not None:
+                for fb in range(seg_first, seg_last + 1):
+                    self.cache.invalidate(inode.ino, fb)
+            self.policy.on_access(
+                inode.ino,
+                seg_first,
+                seg_last - seg_first + 1,
+                tier_id,
+                "write",
+                self.clock.now(),
+            )
+
+        # collective inode + affinity updates (§2.3)
+        now = self.clock.now()
+        if extended:
+            inode.size = offset + len(data)
+            inode.affinity.set_owner("size", last_seg_tier)
+        inode.mtime = inode.ctime = now
+        inode.affinity.set_owner("mtime", last_seg_tier)
+        inode.affinity.set_owner("ctime", last_seg_tier)
+        self.clock.advance_ns(cal.MUX_AFFINITY_NS)
+        if self._meta is not None:
+            self._meta.note(1)
+        if synchronous:
+            self.fsync(handle)
+        self.stats.add("write")
+        self.stats.add("bytes_written", len(data))
+        self.stats.add("split_writes", max(0, len(segments) - 1))
+        self._record_latency("write", op_started_ns)
+        return len(data)
+
+    def _tier_reserve(self, tier: Tier) -> int:
+        """Headroom kept free on every tier: copy-on-write file systems
+        need transient blocks, and Mux's own metafile must stay writable."""
+        return max(64 * self.block_size, tier.fs.statfs().total_bytes // 100)
+
+    def _tier_has_room(self, tier: Tier, length: int) -> bool:
+        return tier.fs.statfs().free_bytes >= length + self._tier_reserve(tier)
+
+    def _place(self, request: PlacementRequest) -> Tier:
+        """Run the placement policy, falling back down-rank when full."""
+        self.clock.advance_ns(cal.MUX_POLICY_NS)
+        states = self.registry.states()
+        tier_id = self.policy.place_write(request, states)
+        chosen = self.registry.get(tier_id)
+        if self._tier_has_room(chosen, request.length):
+            return chosen
+        for tier in self.registry.ordered():
+            if tier.rank >= chosen.rank and self._tier_has_room(tier, request.length):
+                return tier
+        for tier in self.registry.ordered():
+            if self._tier_has_room(tier, request.length):
+                return tier
+        raise NoSpace(f"no tier has room for {request.length} bytes")
+
+    def _write_segment(
+        self, inode: CollectiveInode, tier_id: int, seg_off: int, seg_data: bytes
+    ) -> int:
+        """Write one segment, falling back to slower tiers on ENOSPC.
+
+        Returns the tier that actually received the data.  The placement
+        check in :meth:`_place` is a snapshot; the underlying file system
+        is the authority (copy-on-write and delayed allocation can both
+        demand more blocks than the snapshot promised).
+        """
+        candidates = [tier_id] + [
+            t.tier_id
+            for t in self.registry.ordered()
+            if t.tier_id != tier_id and t.rank >= self.registry.get(tier_id).rank
+        ] + [
+            t.tier_id
+            for t in self.registry.ordered()
+            if t.tier_id != tier_id and t.rank < self.registry.get(tier_id).rank
+        ]
+        last_error: Optional[NoSpace] = None
+        for candidate in candidates:
+            tier = self.registry.get(candidate)
+            seg_handle = self._tier_handle(inode, tier, create=True)
+            try:
+                self.vfs.write(seg_handle, seg_off, seg_data)
+                return candidate
+            except NoSpace as exc:
+                last_error = exc
+                self.stats.add("write_spills")
+                continue
+        raise last_error if last_error else NoSpace("all tiers full")
+
+    def _segment_write(
+        self, inode: CollectiveInode, offset: int, data: bytes, policy_tier: int
+    ) -> List[Tuple[int, int, bytes]]:
+        """Split a write into (tier, offset, data) segments.
+
+        Full blocks and unmapped blocks follow the policy's placement;
+        *partial* edge blocks that already live on some tier are updated in
+        place on that tier — a sub-block write must not split one block's
+        bytes across two file systems (the BLT is block-granular).
+        """
+        bs = self.block_size
+        end = offset + len(data)
+        raw: List[Tuple[int, int, bytes]] = []
+        pos = offset
+        while pos < end:
+            fb = pos // bs
+            block_end = (fb + 1) * bs
+            take = min(end, block_end) - pos
+            partial = take < bs
+            current = inode.blt.lookup(fb) if partial else None
+            tier_id = current if (partial and current is not None) else policy_tier
+            raw.append((tier_id, pos, data[pos - offset : pos - offset + take]))
+            pos += take
+        # coalesce adjacent same-tier segments
+        segments: List[Tuple[int, int, bytes]] = []
+        for tier_id, seg_off, seg_data in raw:
+            if segments and segments[-1][0] == tier_id and (
+                segments[-1][1] + len(segments[-1][2]) == seg_off
+            ):
+                prev = segments[-1]
+                segments[-1] = (tier_id, prev[1], prev[2] + seg_data)
+            else:
+                segments.append((tier_id, seg_off, seg_data))
+        return segments
+
+    def truncate(self, handle: FileHandle, size: int) -> None:
+        handle.ensure_open()
+        if size < 0:
+            raise InvalidArgument("negative size")
+        inode = self.ns.get(handle.ino)
+        self._charge_base()
+        if inode.is_dir:
+            raise IsADirectory(f"mux: truncate of directory {handle.path!r}")
+        for tier_id in sorted(inode.tiers_present):
+            tier = self.registry.get(tier_id)
+            tier_handle = self._tier_handle(inode, tier, create=False)
+            self.vfs.truncate(tier_handle, size)
+        old_end = inode.blt.end_block()
+        new_end = -(-size // self.block_size)
+        if old_end > new_end:
+            if self.cache is not None:
+                for fb in range(new_end, old_end):
+                    self.cache.invalidate(inode.ino, fb)
+            inode.blt.unmap_range(new_end, old_end - new_end)
+        now = self.clock.now()
+        inode.size = size
+        inode.mtime = inode.ctime = now
+        if self._meta is not None:
+            self._meta.note(2)
+        self.stats.add("truncate")
+
+    def punch_hole(self, handle: FileHandle, offset: int, length: int) -> None:
+        """Deallocate a range: punch every participating tier, clear the BLT."""
+        handle.ensure_open()
+        if offset % self.block_size or length % self.block_size:
+            raise InvalidArgument("punch_hole requires block-aligned arguments")
+        if length <= 0:
+            return
+        inode = self.ns.get(handle.ino)
+        if inode.is_dir:
+            raise IsADirectory(f"mux: punch_hole on directory {handle.path!r}")
+        self._charge_base()
+        first_fb = offset // self.block_size
+        count = length // self.block_size
+        for run_start, run_len, tier_id in list(inode.blt.runs(first_fb, count)):
+            if tier_id is None:
+                continue
+            tier = self.registry.get(tier_id)
+            tier_handle = self._tier_handle(inode, tier, create=False)
+            self.vfs.punch_hole(
+                tier_handle, run_start * self.block_size, run_len * self.block_size
+            )
+            if self.cache is not None:
+                for fb in range(run_start, run_start + run_len):
+                    self.cache.invalidate(inode.ino, fb)
+        inode.blt.unmap_range(first_fb, count)
+        if self._meta is not None:
+            self._meta.note(1)
+        self.stats.add("punch_hole")
+
+    def fsync(self, handle: FileHandle) -> None:
+        """Fan out fsync to every participating file system (§4)."""
+        handle.ensure_open()
+        inode = self.ns.get(handle.ino)
+        self._charge_base()
+        if self._meta is not None:
+            # the per-tier fsyncs below commit the meta tier's journal too
+            self._meta.flush(durable=False)
+        for tier_id in sorted(inode.tiers_present):
+            tier_handle = inode.tier_handles.get(tier_id)
+            if tier_handle is not None and tier_handle.is_open:
+                self.vfs.fsync(tier_handle)
+        self.stats.add("fsync")
+
+    # ==================================================================
+    # metadata operations
+    # ==================================================================
+
+    def getattr(self, path: str) -> Stat:
+        """Serve attributes from the collective inode cache (§2.3)."""
+        self._charge_base()
+        inode = self.ns.resolve(path)
+        self.stats.add("getattr")
+        if inode.is_dir:
+            return inode.stat()
+        # disk consumption has no single owner: aggregate across tiers
+        blocks_512 = inode.blt.mapped_blocks() * (self.block_size // 512)
+        return inode.stat(blocks=blocks_512)
+
+    def setattr(self, path: str, **attrs: object) -> Stat:
+        self._charge_base()
+        clean = attrs_for_update(attrs)
+        inode = self.ns.resolve(path)
+        for name, value in clean.items():
+            if name == "mode":
+                inode.mode = int(value)  # type: ignore[arg-type]
+            else:
+                setattr(inode, name, float(value))  # type: ignore[arg-type]
+            if not inode.is_dir and name in ("atime", "mtime", "ctime", "mode"):
+                # Mux performed the update; the fastest participating tier
+                # becomes affinitive and others sync lazily
+                owner = min(
+                    inode.tiers_present,
+                    default=None,
+                    key=lambda t: self.registry.get(t).rank,
+                )
+                if owner is not None:
+                    inode.affinity.set_owner(name if name != "ctime" else "ctime", owner)
+        self.clock.advance_ns(cal.MUX_AFFINITY_NS)
+        if self._meta is not None:
+            self._meta.note(1)
+        self.stats.add("setattr")
+        blocks_512 = (
+            0 if inode.is_dir else inode.blt.mapped_blocks() * (self.block_size // 512)
+        )
+        return inode.stat(blocks=blocks_512)
+
+    def statfs(self) -> FsStats:
+        """Expose the whole hierarchy as a single device (§1)."""
+        total = 0
+        free = 0
+        for tier in self.registry.ordered():
+            s = tier.fs.statfs()
+            total += s.total_blocks
+            free += s.free_blocks
+        return FsStats(self.block_size or 4096, total, free)
+
+    # ==================================================================
+    # tiering maintenance (Policy Runner)
+    # ==================================================================
+
+    def file_views(self) -> List[FileView]:
+        views: List[FileView] = []
+        for inode in self.ns.files():
+            end = inode.blt.end_block()
+            runs = list(inode.blt.runs(0, end)) if end else []
+            views.append(
+                FileView(
+                    ino=inode.ino,
+                    path=inode.rel_path,
+                    size=inode.size,
+                    blocks_by_tier={
+                        t: inode.blt.blocks_on(t) for t in inode.blt.tiers_used()
+                    },
+                    runs=runs,
+                )
+            )
+        return views
+
+    def maintain(self, max_rounds: int = 4) -> int:
+        """Ask the policy for migrations and run them to completion.
+
+        Returns the number of migration orders executed.
+        """
+        executed = 0
+        for _ in range(max_rounds):
+            orders = self.policy.plan_migrations(self.tier_states(), self.file_views())
+            if not orders:
+                break
+            for order in orders:
+                try:
+                    self.ns.get(order.ino)
+                except FileNotFound:
+                    continue  # file vanished since planning
+                if not self.engine.supports(order.src_tier, order.dst_tier):
+                    continue
+                self.engine.migrate_now(order)
+                executed += 1
+        return executed
+
+    def maintain_async(self) -> int:
+        """Plan migrations and submit them as cooperative background tasks."""
+        orders = self.policy.plan_migrations(self.tier_states(), self.file_views())
+        submitted = 0
+        for order in orders:
+            try:
+                self.ns.get(order.ino)
+            except FileNotFound:
+                continue
+            if self.engine.supports(order.src_tier, order.dst_tier):
+                self.engine.submit(order)
+                submitted += 1
+        return submitted
+
+    def report(self) -> str:
+        """A human-readable status dashboard (tiers, cache, migrations)."""
+        lines = ["mux status"]
+        lines.append("  tiers:")
+        for tier in self.registry.ordered():
+            stats = tier.fs.statfs()
+            lines.append(
+                f"    [{tier.rank}] {tier.name:8s} {tier.fs.fs_name:8s} "
+                f"{stats.used_bytes / 1e6:8.1f}/{stats.total_bytes / 1e6:.1f} MB "
+                f"({100 * stats.utilization:5.1f}%)"
+            )
+        if self.cache is not None:
+            lines.append(
+                f"  scm cache: {self.cache.cached_blocks}/"
+                f"{self.cache.capacity_blocks} blocks, "
+                f"hit ratio {self.cache.hit_ratio():.2f}"
+            )
+        engine = self.engine.stats
+        lines.append(
+            f"  migrations: {engine.get('migrations')} runs, "
+            f"{engine.get('blocks_moved')} blocks, "
+            f"{engine.get('conflicts')} conflicts, "
+            f"{engine.get('lock_fallbacks')} lock fallbacks"
+        )
+        lines.append(
+            f"  ops: {self.stats.get('read')} reads / "
+            f"{self.stats.get('write')} writes / "
+            f"{self.stats.get('fsync')} fsyncs; "
+            f"{len(self.ns) - 1} namespace entries"
+        )
+        if self.qos is not None:
+            for name, io_class in sorted(self.qos.classes().items()):
+                throttled = self.qos.stats.get(f"throttled_ops.{name}")
+                if io_class.quota_bytes_per_sec or throttled:
+                    lines.append(
+                        f"  qos[{name}]: quota "
+                        f"{(io_class.quota_bytes_per_sec or 0) / 1e6:.1f} MB/s, "
+                        f"{throttled} throttled ops"
+                    )
+        return "\n".join(lines)
+
+    # ==================================================================
+    # whole-FS sync / crash composition (§4)
+    # ==================================================================
+
+    def sync(self) -> None:
+        if self._meta is not None:
+            self._meta.flush()
+        for tier in self.registry.ordered():
+            tier.fs.sync()
+
+    def crash(self) -> None:
+        """Crash composition: each participating FS loses its own volatile
+        state.  Mux's durable metadata is modeled by the metafile appends;
+        collective-inode state is reconstructed from it on recovery (the
+        reconstruction itself is charged as a metafile scan)."""
+        for inode in self.ns.files():
+            inode.tier_handles.clear()
+            inode.migration_active = False
+            inode.dirty_during_migration.clear()
+        for tier in self.registry.ordered():
+            tier.fs.crash()
+
+    def recover(self) -> None:
+        for tier in self.registry.ordered():
+            tier.fs.recover()
+        if self._meta is not None and len(self.registry):
+            # charge the metafile scan on the fastest tier
+            fastest = self.registry.fastest()
+            if fastest.fs.exists(META_FILE):
+                fastest.fs.read_file(META_FILE)

@@ -1,0 +1,252 @@
+"""OCC Synchronizer: lock-free data movement across file systems (§2.4).
+
+"Our insight is that data movement does not change the content of the
+data; so, a data movement process is considered successful if the content
+of the data remains unchanged throughout the process."
+
+Protocol, as the paper describes it:
+
+1. the per-file version counter is incremented and the migration flag set
+   at the *start* of a movement;
+2. blocks are copied from the source file system to the destination's
+   sparse file (same offsets) — user operations proceed concurrently and
+   keep hitting the source, because the Block Lookup Table has not changed;
+3. at the end, the version is incremented again and Mux checks for blocks
+   written during the movement.  Clean blocks are **atomically committed**
+   (BLT flip + source hole punch); dirty blocks are dropped ("overwritten
+   in place in the next migration attempt") and retried;
+4. after a bounded number of retries Mux "resorts to a lock-based
+   migration": the remaining blocks are copied with the file locked, which
+   in this deterministic simulation means within a single un-yieldable
+   step — no user operation can interleave — guaranteeing completion in
+   finite time and a bounded replication lag.
+
+The copy loop yields between chunks, so tests can interleave adversarial
+user writes at every step via :func:`repro.sim.tasks.run_interleaved`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Protocol, Set
+
+from repro.core import calibration as cal
+from repro.core.metadata import CollectiveInode
+from repro.errors import NoSpace
+from repro.sim.clock import SimClock
+from repro.sim.stats import CounterSet
+
+
+class MigrationIo(Protocol):
+    """The raw per-tier I/O the synchronizer needs (implemented by Mux)."""
+
+    block_size: int
+    clock: SimClock
+
+    def tier_read_raw(
+        self, inode: CollectiveInode, tier_id: int, offset: int, length: int
+    ) -> bytes: ...
+
+    def tier_write_raw(
+        self, inode: CollectiveInode, tier_id: int, offset: int, data: bytes
+    ) -> None: ...
+
+    def tier_punch(
+        self, inode: CollectiveInode, tier_id: int, block_start: int, count: int
+    ) -> None: ...
+
+    def tier_fsync(self, inode: CollectiveInode, tier_id: int) -> None: ...
+
+    def blt_commit_move(
+        self, inode: CollectiveInode, blocks: List[int], src_tier: int, dst_tier: int
+    ) -> None: ...
+
+
+@dataclass
+class MigrationResult:
+    """Outcome of one migrate() call."""
+
+    moved_blocks: int = 0
+    bytes_moved: int = 0
+    attempts: int = 0
+    conflicts: int = 0
+    lock_fallback: bool = False
+    #: blocks that no longer lived on the source when we looked (already
+    #: moved or rewritten elsewhere) — skipped, not an error
+    skipped_blocks: int = 0
+    #: the destination ran out of space; the movement aborted safely
+    #: (source copies untouched, BLT unchanged for unmoved blocks)
+    aborted_no_space: bool = False
+
+
+class OccSynchronizer:
+    """Executes OCC block migration against a :class:`MigrationIo`."""
+
+    def __init__(self, io: MigrationIo, force_lock: bool = False) -> None:
+        self.io = io
+        self.stats = CounterSet()
+        #: ablation switch: skip OCC entirely and always take the
+        #: pessimistic lock (what a traditional tiered FS does, §2.4)
+        self.force_lock = force_lock
+
+    # -- public API -------------------------------------------------------
+
+    def migrate(
+        self,
+        inode: CollectiveInode,
+        block_start: int,
+        count: int,
+        src_tier: int,
+        dst_tier: int,
+    ) -> Generator[None, None, MigrationResult]:
+        """Cooperatively migrate blocks of ``inode`` from src to dst.
+
+        A generator: yields between copy chunks (interleave points).
+        Returns a :class:`MigrationResult`.
+        """
+        result = MigrationResult()
+        if src_tier == dst_tier or count <= 0:
+            return result
+        targets = self._blocks_on_src(inode, block_start, count, src_tier)
+        result.skipped_blocks = count - len(targets)
+
+        attempts = 0 if self.force_lock else cal.OCC_MAX_RETRIES
+        for _ in range(attempts):
+            if not targets:
+                return result
+            result.attempts += 1
+            self.stats.add("attempts")
+
+            # -- start: version bump + migration flag -----------------------
+            inode.version += 1
+            inode.migration_active = True
+            inode.dirty_during_migration.clear()
+            version_at_start = inode.version
+            self.io.clock.advance_ns(cal.MUX_OCC_CHECK_NS)
+
+            # -- copy phase (yields between chunks) --------------------------
+            try:
+                yield from self._copy_blocks(inode, targets, src_tier, dst_tier)
+            except NoSpace:
+                # destination full: abort safely — nothing committed yet,
+                # so user data still lives (only) on the source
+                inode.version += 1
+                inode.migration_active = False
+                inode.dirty_during_migration.clear()
+                result.aborted_no_space = True
+                self.stats.add("no_space_aborts")
+                return result
+
+            # -- validate + commit -------------------------------------------
+            inode.version += 1
+            inode.migration_active = False
+            dirty = set(inode.dirty_during_migration)
+            inode.dirty_during_migration.clear()
+            raced = inode.version != version_at_start + 1
+            if raced:
+                # another movement interleaved; treat everything as suspect
+                dirty.update(targets)
+            clean = [
+                b
+                for b in targets
+                if b not in dirty and inode.blt.lookup(b) == src_tier
+            ]
+            self._commit(inode, clean, src_tier, dst_tier, result)
+            conflicted = [b for b in targets if b not in clean]
+            result.conflicts += len(conflicted)
+            if conflicted:
+                self.stats.add("conflicts", len(conflicted))
+            # retry only blocks that still live on the source
+            targets = [b for b in conflicted if inode.blt.lookup(b) == src_tier]
+
+        if targets:
+            # -- lock-based fallback: single atomic step ----------------------
+            result.lock_fallback = True
+            self.stats.add("lock_fallbacks")
+            self.io.clock.advance_ns(cal.LOCK_FALLBACK_NS)
+            inode.locked = True
+            try:
+                for _ in self._copy_blocks(inode, targets, src_tier, dst_tier):
+                    pass  # no yields escape: the copy is atomic under the lock
+                self._commit(inode, targets, src_tier, dst_tier, result)
+            except NoSpace:
+                result.aborted_no_space = True
+                self.stats.add("no_space_aborts")
+            finally:
+                inode.locked = False
+        return result
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _blocks_on_src(
+        self, inode: CollectiveInode, block_start: int, count: int, src_tier: int
+    ) -> List[int]:
+        blocks: List[int] = []
+        for run_start, run_len, tier in inode.blt.runs(block_start, count):
+            if tier == src_tier:
+                blocks.extend(range(run_start, run_start + run_len))
+        return blocks
+
+    def _copy_blocks(
+        self,
+        inode: CollectiveInode,
+        blocks: List[int],
+        src_tier: int,
+        dst_tier: int,
+    ) -> Generator[None, None, None]:
+        """Copy blocks in contiguous spans, chunked; yields between chunks."""
+        block_size = self.io.block_size
+        for span_start, span_len in _contiguous_spans(blocks):
+            copied = 0
+            while copied < span_len:
+                chunk = min(cal.MIGRATION_CHUNK_BLOCKS, span_len - copied)
+                offset = (span_start + copied) * block_size
+                data = self.io.tier_read_raw(
+                    inode, src_tier, offset, chunk * block_size
+                )
+                self.io.tier_write_raw(inode, dst_tier, offset, data)
+                copied += chunk
+                self.stats.add("blocks_copied", chunk)
+                yield
+
+    def _commit(
+        self,
+        inode: CollectiveInode,
+        blocks: List[int],
+        src_tier: int,
+        dst_tier: int,
+        result: MigrationResult,
+    ) -> None:
+        """Atomically flip clean blocks to dst and punch the src copies.
+
+        The destination copy is made durable *before* the source copy is
+        released — otherwise a crash between punch and writeback could
+        lose the only copy of the data.
+        """
+        if not blocks:
+            return
+        self.io.tier_fsync(inode, dst_tier)
+        self.io.blt_commit_move(inode, blocks, src_tier, dst_tier)
+        for span_start, span_len in _contiguous_spans(blocks):
+            self.io.tier_punch(inode, src_tier, span_start, span_len)
+        result.moved_blocks += len(blocks)
+        result.bytes_moved += len(blocks) * self.io.block_size
+        self.stats.add("blocks_committed", len(blocks))
+
+
+def _contiguous_spans(blocks: List[int]) -> List[tuple]:
+    """Group a sorted block list into (start, length) spans."""
+    spans: List[tuple] = []
+    if not blocks:
+        return spans
+    ordered = sorted(blocks)
+    start = ordered[0]
+    length = 1
+    for block in ordered[1:]:
+        if block == start + length:
+            length += 1
+        else:
+            spans.append((start, length))
+            start, length = block, 1
+    spans.append((start, length))
+    return spans

@@ -1,0 +1,268 @@
+"""Built-in tiering policies.
+
+* :class:`LruTieringPolicy` — the policy the paper's evaluation uses
+  (§3.1): "a simple LRU policy that evicts cold data to the slower device
+  if no space left on faster devices, and promotes data back upon access".
+* :class:`TpfsPolicy` — the TPFS placement rule §2.1 cites as expressible
+  in "a function that returns different device IDs based on the I/O size,
+  synchronicity, and access history".
+* :class:`HotColdPolicy` — whole-file hot/cold classification with decay,
+  the scheme Ziggurat-style tiered file systems employ.
+* :class:`PinnedPolicy` — static routing to one tier (used by the overhead
+  benchmarks, where every request targets a single device).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.policy import (
+    FileView,
+    MigrationOrder,
+    PlacementRequest,
+    Policy,
+    TierState,
+    fastest_with_room,
+    register_policy,
+)
+from repro.errors import PolicyError
+
+#: granularity of recency tracking, in blocks (64 blocks = 256 KiB chunks)
+CHUNK_BLOCKS = 64
+
+
+@register_policy("lru")
+class LruTieringPolicy(Policy):
+    """LRU block-chunk tiering: fill fast tiers, demote cold, promote hot."""
+
+    def __init__(
+        self,
+        high_watermark: float = 0.90,
+        low_watermark: float = 0.75,
+        promote_on_access: bool = True,
+        max_orders_per_plan: int = 64,
+    ) -> None:
+        if not 0 < low_watermark <= high_watermark <= 1:
+            raise PolicyError("watermarks must satisfy 0 < low <= high <= 1")
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.promote_on_access = promote_on_access
+        self.max_orders_per_plan = max_orders_per_plan
+        #: LRU recency: (ino, chunk) -> tier of last-known residence;
+        #: most-recently-used at the end
+        self._recency: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+        #: promotion requests gathered from on_access
+        self._promotions: List[MigrationOrder] = []
+
+    # -- placement --------------------------------------------------------
+
+    def place_write(self, request: PlacementRequest, tiers: List[TierState]) -> int:
+        return fastest_with_room(tiers, request.length).tier_id
+
+    # -- recency tracking -----------------------------------------------------
+
+    def on_access(
+        self,
+        ino: int,
+        block_start: int,
+        count: int,
+        tier_id: int,
+        kind: str,
+        now: float,
+    ) -> None:
+        first_chunk = block_start // CHUNK_BLOCKS
+        last_chunk = (block_start + count - 1) // CHUNK_BLOCKS
+        for chunk in range(first_chunk, last_chunk + 1):
+            key = (ino, chunk)
+            self._recency.pop(key, None)
+            self._recency[key] = tier_id
+        if self.promote_on_access and tier_id != 0 and kind == "read":
+            self._promotions.append(
+                MigrationOrder(
+                    ino=ino,
+                    block_start=first_chunk * CHUNK_BLOCKS,
+                    count=(last_chunk - first_chunk + 1) * CHUNK_BLOCKS,
+                    src_tier=tier_id,
+                    dst_tier=max(0, tier_id - 1),
+                    reason="promote-on-access",
+                )
+            )
+
+    def forget(self, ino: int) -> None:
+        for key in [k for k in self._recency if k[0] == ino]:
+            del self._recency[key]
+        self._promotions = [o for o in self._promotions if o.ino != ino]
+
+    # -- planning ---------------------------------------------------------------
+
+    def plan_migrations(
+        self, tiers: List[TierState], files: Iterable[FileView]
+    ) -> List[MigrationOrder]:
+        orders: List[MigrationOrder] = []
+        by_rank = sorted(tiers, key=lambda t: t.rank)
+        tier_by_id = {t.tier_id: t for t in tiers}
+
+        # residence truth from the BLT views (recency map may be stale)
+        residence: Dict[Tuple[int, int], int] = {}
+        for view in files:
+            for start, count, tier in view.runs:
+                if tier is None:
+                    continue
+                for chunk in range(start // CHUNK_BLOCKS, (start + count - 1) // CHUNK_BLOCKS + 1):
+                    residence[(view.ino, chunk)] = tier
+
+        # demotions: for each overfull tier, evict coldest chunks downward
+        for idx, tier in enumerate(by_rank):
+            if tier.utilization <= self.high_watermark:
+                continue
+            if idx + 1 >= len(by_rank):
+                continue  # slowest tier has nowhere to demote
+            dst = by_rank[idx + 1]
+            bytes_to_free = int(
+                (tier.utilization - self.low_watermark) * tier.total_bytes
+            )
+            freed = 0
+            for key in list(self._recency):  # oldest first
+                if freed >= bytes_to_free or len(orders) >= self.max_orders_per_plan:
+                    break
+                ino, chunk = key
+                if residence.get(key) != tier.tier_id:
+                    continue
+                orders.append(
+                    MigrationOrder(
+                        ino=ino,
+                        block_start=chunk * CHUNK_BLOCKS,
+                        count=CHUNK_BLOCKS,
+                        src_tier=tier.tier_id,
+                        dst_tier=dst.tier_id,
+                        reason="lru-evict",
+                    )
+                )
+                freed += CHUNK_BLOCKS * 4096
+                # after demotion this chunk lives on dst
+                self._recency[key] = dst.tier_id
+
+        # promotions gathered from accesses, space permitting
+        while self._promotions and len(orders) < self.max_orders_per_plan:
+            order = self._promotions.pop(0)
+            dst = tier_by_id.get(order.dst_tier)
+            if dst is None or dst.utilization >= self.high_watermark:
+                continue
+            orders.append(order)
+        return orders
+
+
+@register_policy("tpfs")
+class TpfsPolicy(Policy):
+    """TPFS-style placement: small/sync writes to PM, large writes downhill."""
+
+    def __init__(
+        self,
+        small_io_bytes: int = 64 * 1024,
+        medium_io_bytes: int = 1024 * 1024,
+        history_window: int = 8,
+    ) -> None:
+        self.small_io_bytes = small_io_bytes
+        self.medium_io_bytes = medium_io_bytes
+        self.history_window = history_window
+        #: per-file recent write sizes (access history input to the rule)
+        self._history: Dict[int, List[int]] = {}
+
+    def place_write(self, request: PlacementRequest, tiers: List[TierState]) -> int:
+        history = self._history.setdefault(request.ino, [])
+        history.append(request.length)
+        del history[: -self.history_window]
+        avg = sum(history) / len(history)
+        by_rank = sorted(tiers, key=lambda t: t.rank)
+
+        def pick(rank: int) -> TierState:
+            rank = min(rank, len(by_rank) - 1)
+            tier = by_rank[rank]
+            if tier.free_bytes < request.length and rank + 1 < len(by_rank):
+                return pick(rank + 1)
+            return tier
+
+        if request.synchronous or avg <= self.small_io_bytes:
+            return pick(0).tier_id
+        if avg <= self.medium_io_bytes:
+            return pick(1).tier_id
+        return pick(2).tier_id
+
+    def forget(self, ino: int) -> None:
+        self._history.pop(ino, None)
+
+
+@register_policy("hotcold")
+class HotColdPolicy(Policy):
+    """Whole-file temperature with exponential decay; hot files float up."""
+
+    def __init__(
+        self,
+        hot_threshold: float = 4.0,
+        cold_threshold: float = 0.5,
+        decay: float = 0.8,
+        max_orders_per_plan: int = 32,
+    ) -> None:
+        self.hot_threshold = hot_threshold
+        self.cold_threshold = cold_threshold
+        self.decay = decay
+        self.max_orders_per_plan = max_orders_per_plan
+        self._heat: Dict[int, float] = {}
+
+    def place_write(self, request: PlacementRequest, tiers: List[TierState]) -> int:
+        return fastest_with_room(tiers, request.length).tier_id
+
+    def on_access(
+        self, ino: int, block_start: int, count: int, tier_id: int, kind: str, now: float
+    ) -> None:
+        self._heat[ino] = self._heat.get(ino, 0.0) + 1.0
+
+    def forget(self, ino: int) -> None:
+        self._heat.pop(ino, None)
+
+    def plan_migrations(
+        self, tiers: List[TierState], files: Iterable[FileView]
+    ) -> List[MigrationOrder]:
+        by_rank = sorted(tiers, key=lambda t: t.rank)
+        fastest, slowest = by_rank[0], by_rank[-1]
+        orders: List[MigrationOrder] = []
+        for view in files:
+            heat = self._heat.get(view.ino, 0.0)
+            self._heat[view.ino] = heat * self.decay
+            if len(orders) >= self.max_orders_per_plan:
+                break
+            if heat >= self.hot_threshold:
+                for start, count, tier in view.runs:
+                    if tier is not None and tier != fastest.tier_id:
+                        orders.append(
+                            MigrationOrder(
+                                view.ino, start, count, tier, fastest.tier_id, "hot"
+                            )
+                        )
+            elif heat <= self.cold_threshold and heat > 0:
+                for start, count, tier in view.runs:
+                    if tier is not None and tier != slowest.tier_id:
+                        orders.append(
+                            MigrationOrder(
+                                view.ino, start, count, tier, slowest.tier_id, "cold"
+                            )
+                        )
+        return orders
+
+
+@register_policy("pinned")
+class PinnedPolicy(Policy):
+    """Static routing: every write goes to one fixed tier.
+
+    Mirrors the paper's overhead experiments, where "the I/O request is
+    always directed to the target devices"; also useful for tests.
+    """
+
+    def __init__(self, tier_id: int = 0) -> None:
+        self.tier_id = tier_id
+
+    def place_write(self, request: PlacementRequest, tiers: List[TierState]) -> int:
+        if not any(t.tier_id == self.tier_id for t in tiers):
+            raise PolicyError(f"pinned tier {self.tier_id} is not registered")
+        return self.tier_id

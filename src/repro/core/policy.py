@@ -1,0 +1,160 @@
+"""User-defined tiering policies (§2.1).
+
+"Mux decouples tiering policies from file system implementation.  It
+exposes an interface for users to specify policies on data placement and
+user request dispatching.  All the placement and migration policies in
+existing tiered file systems can be expressed using simple functions."
+
+In the kernel the policy would be a module or eBPF program; here it is a
+Python object implementing :class:`Policy`.  Policies receive narrow,
+read-only views of tier state and file state, and return tier ids and
+migration orders — they never touch devices directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.devices.profile import DeviceKind
+from repro.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class TierState:
+    """Read-only snapshot of one tier, handed to policy callbacks."""
+
+    tier_id: int
+    name: str
+    rank: int  # 0 = fastest
+    kind: DeviceKind
+    free_bytes: int
+    total_bytes: int
+
+    @property
+    def used_bytes(self) -> int:
+        return self.total_bytes - self.free_bytes
+
+    @property
+    def utilization(self) -> float:
+        return self.used_bytes / self.total_bytes if self.total_bytes else 0.0
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """One write that needs a home."""
+
+    path: str
+    ino: int
+    offset: int
+    length: int
+    file_size: int
+    is_append: bool
+    synchronous: bool = False
+
+
+@dataclass(frozen=True)
+class MigrationOrder:
+    """A policy's instruction to move blocks between tiers."""
+
+    ino: int
+    block_start: int
+    count: int
+    src_tier: int
+    dst_tier: int
+    reason: str = ""
+
+
+@dataclass
+class FileView:
+    """Read-only per-file view for migration planning."""
+
+    ino: int
+    path: str
+    size: int
+    blocks_by_tier: Dict[int, int] = field(default_factory=dict)
+    #: (block_start, count, tier) runs — the BLT contents
+    runs: List = field(default_factory=list)
+
+
+class Policy(ABC):
+    """Base class for tiering policies."""
+
+    name: str = "policy"
+
+    @abstractmethod
+    def place_write(
+        self, request: PlacementRequest, tiers: List[TierState]
+    ) -> int:
+        """Choose the tier id that should receive this write."""
+
+    def on_access(
+        self,
+        ino: int,
+        block_start: int,
+        count: int,
+        tier_id: int,
+        kind: str,
+        now: float,
+    ) -> None:
+        """Access notification (kind is "read" or "write"); default: ignore."""
+
+    def plan_migrations(
+        self, tiers: List[TierState], files: Iterable[FileView]
+    ) -> List[MigrationOrder]:
+        """Return migrations to run now; default: none."""
+        return []
+
+    def forget(self, ino: int) -> None:
+        """A file was deleted; drop any per-file policy state."""
+
+
+def fastest_with_room(
+    tiers: List[TierState], length: int, reserve_fraction: float = 0.02
+) -> TierState:
+    """The fastest tier that can absorb ``length`` bytes with headroom."""
+    for tier in sorted(tiers, key=lambda t: t.rank):
+        reserve = int(tier.total_bytes * reserve_fraction)
+        if tier.free_bytes - reserve >= length:
+            return tier
+    # last resort: the tier with the most free space
+    best = max(tiers, key=lambda t: t.free_bytes)
+    if best.free_bytes < length:
+        raise PolicyError(f"no tier can hold {length} bytes")
+    return best
+
+
+# ---------------------------------------------------------------------------
+# policy registry — the modular "register tiering rules" interface
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Callable[..., Policy]] = {}
+
+
+def register_policy(name: str) -> Callable[[type], type]:
+    """Class decorator registering a policy constructor under ``name``."""
+
+    def decorate(cls: type) -> type:
+        if name in _REGISTRY:
+            raise PolicyError(f"policy {name!r} already registered")
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return decorate
+
+
+def make_policy(name: str, **kwargs: object) -> Policy:
+    """Instantiate a registered policy by name."""
+    try:
+        ctor = _REGISTRY[name]
+    except KeyError:
+        raise PolicyError(
+            f"unknown policy {name!r}; registered: {sorted(_REGISTRY)}"
+        )
+    return ctor(**kwargs)
+
+
+def registered_policies() -> List[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,120 @@
+"""Tier registry: runtime attach/detach of native file systems (§2.1).
+
+"To add a new device and the corresponding file system, the user only
+needs to mount the new file system and register it with Mux, along with a
+policy to manage it.  To remove a device, data must be migrated first.
+Adding or removing a device can be done at runtime."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.policy import TierState
+from repro.devices.profile import DeviceKind, DeviceProfile
+from repro.errors import InvalidArgument, ReproError
+from repro.vfs.interface import FileSystem
+
+
+@dataclass
+class Tier:
+    """One registered tier: a native file system mounted in the shared VFS."""
+
+    tier_id: int
+    name: str
+    fs: FileSystem
+    mount: str  # mount point of ``fs`` inside the shared VFS
+    profile: DeviceProfile
+    rank: int  # 0 = fastest
+
+    @property
+    def kind(self) -> DeviceKind:
+        return self.profile.kind
+
+    def state(self) -> TierState:
+        fsstats = self.fs.statfs()
+        return TierState(
+            tier_id=self.tier_id,
+            name=self.name,
+            rank=self.rank,
+            kind=self.kind,
+            free_bytes=fsstats.free_bytes,
+            total_bytes=fsstats.total_bytes,
+        )
+
+
+#: rank ordering by device class when the caller does not give one
+_DEFAULT_RANK = {
+    DeviceKind.PERSISTENT_MEMORY: 0,
+    DeviceKind.SOLID_STATE: 1,
+    DeviceKind.HARD_DISK: 2,
+}
+
+
+class TierRegistry:
+    """Orders and tracks the tiers Mux multiplexes over."""
+
+    def __init__(self) -> None:
+        self._tiers: Dict[int, Tier] = {}
+        self._next_id = 0
+
+    def add(
+        self,
+        name: str,
+        fs: FileSystem,
+        mount: str,
+        profile: DeviceProfile,
+        rank: Optional[int] = None,
+    ) -> Tier:
+        if any(t.name == name for t in self._tiers.values()):
+            raise InvalidArgument(f"tier name {name!r} already registered")
+        if rank is None:
+            rank = _DEFAULT_RANK.get(profile.kind, len(self._tiers))
+        tier = Tier(self._next_id, name, fs, mount, profile, rank)
+        self._tiers[tier.tier_id] = tier
+        self._next_id += 1
+        return tier
+
+    def remove(self, tier_id: int) -> Tier:
+        try:
+            return self._tiers.pop(tier_id)
+        except KeyError:
+            raise InvalidArgument(f"no tier with id {tier_id}")
+
+    def get(self, tier_id: int) -> Tier:
+        try:
+            return self._tiers[tier_id]
+        except KeyError:
+            raise ReproError(f"unknown tier id {tier_id}")
+
+    def by_name(self, name: str) -> Tier:
+        for tier in self._tiers.values():
+            if tier.name == name:
+                return tier
+        raise ReproError(f"unknown tier name {name!r}")
+
+    def ids(self) -> List[int]:
+        return sorted(self._tiers)
+
+    def ordered(self) -> List[Tier]:
+        """Tiers sorted fastest-first."""
+        return sorted(self._tiers.values(), key=lambda t: (t.rank, t.tier_id))
+
+    def states(self) -> List[TierState]:
+        return [tier.state() for tier in self.ordered()]
+
+    def fastest(self) -> Tier:
+        ordered = self.ordered()
+        if not ordered:
+            raise ReproError("no tiers registered")
+        return ordered[0]
+
+    def __len__(self) -> int:
+        return len(self._tiers)
+
+    def __iter__(self):
+        return iter(self.ordered())
+
+    def __contains__(self, tier_id: int) -> bool:
+        return tier_id in self._tiers

@@ -1,0 +1,34 @@
+"""Simulated storage devices: PM, SSD and HDD timing + data models."""
+
+from repro.devices.base import DEFAULT_BLOCK_SIZE, Device
+from repro.devices.cxl import ARCHIVAL, CXL_SSD, ArchivalDevice, CxlSsd
+from repro.devices.hdd import HardDiskDrive
+from repro.devices.pm import CACHE_LINE, PersistentMemoryDevice
+from repro.devices.profile import (
+    CATALOG,
+    OPTANE_PMEM_200,
+    OPTANE_SSD_P4800X,
+    SEAGATE_EXOS_X18,
+    DeviceKind,
+    DeviceProfile,
+)
+from repro.devices.ssd import SolidStateDrive
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "Device",
+    "ARCHIVAL",
+    "CXL_SSD",
+    "ArchivalDevice",
+    "CxlSsd",
+    "HardDiskDrive",
+    "CACHE_LINE",
+    "PersistentMemoryDevice",
+    "CATALOG",
+    "OPTANE_PMEM_200",
+    "OPTANE_SSD_P4800X",
+    "SEAGATE_EXOS_X18",
+    "DeviceKind",
+    "DeviceProfile",
+    "SolidStateDrive",
+]

@@ -1,0 +1,121 @@
+"""Base class for simulated storage devices.
+
+A device stores real bytes (so file-system correctness is end-to-end
+testable) and charges simulated time to the shared :class:`SimClock`
+according to its :class:`DeviceProfile`.  Only blocks that were actually
+written are materialized; unwritten blocks read as zeros, which also gives
+the sparse-file behaviour the native file systems rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.devices.profile import DeviceProfile
+from repro.errors import DeviceError
+from repro.sim.clock import SimClock
+from repro.sim.stats import DeviceStats
+
+DEFAULT_BLOCK_SIZE = 4096
+
+
+class Device:
+    """A simulated block device backed by an in-memory sparse block store."""
+
+    def __init__(
+        self,
+        name: str,
+        profile: DeviceProfile,
+        capacity_bytes: int,
+        clock: SimClock,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if block_size <= 0 or capacity_bytes % block_size:
+            raise ValueError("capacity must be a multiple of block size")
+        self.name = name
+        self.profile = profile
+        self.capacity_bytes = capacity_bytes
+        self.block_size = block_size
+        self.num_blocks = capacity_bytes // block_size
+        self.clock = clock
+        self.stats = DeviceStats()
+        self._blocks: Dict[int, bytes] = {}
+        self._zero_block = bytes(block_size)
+
+    # -- bounds ------------------------------------------------------------
+
+    def _check_range(self, block_no: int, count: int) -> None:
+        if count <= 0:
+            raise DeviceError(f"{self.name}: non-positive block count {count}")
+        if block_no < 0 or block_no + count > self.num_blocks:
+            raise DeviceError(
+                f"{self.name}: blocks [{block_no}, {block_no + count}) out of "
+                f"range (device has {self.num_blocks} blocks)"
+            )
+
+    # -- timing hooks (overridden per device type) ---------------------------
+
+    def _access_cost_ns(self, block_no: int, nbytes: int, *, write: bool) -> int:
+        """Latency of one contiguous access starting at ``block_no``."""
+        latency = (
+            self.profile.write_latency_ns if write else self.profile.read_latency_ns
+        )
+        return latency + self.profile.transfer_ns(nbytes, write=write)
+
+    # -- block I/O -----------------------------------------------------------
+
+    def read_blocks(self, block_no: int, count: int = 1) -> bytes:
+        """Read ``count`` contiguous blocks, charging simulated time."""
+        self._check_range(block_no, count)
+        nbytes = count * self.block_size
+        cost = self._access_cost_ns(block_no, nbytes, write=False)
+        self.clock.advance_ns(cost)
+        self.stats.record_read(nbytes, cost)
+        parts = [
+            self._blocks.get(bno, self._zero_block)
+            for bno in range(block_no, block_no + count)
+        ]
+        return b"".join(parts)
+
+    def write_blocks(self, block_no: int, data: bytes) -> None:
+        """Write whole blocks starting at ``block_no``."""
+        if len(data) == 0 or len(data) % self.block_size:
+            raise DeviceError(
+                f"{self.name}: write size {len(data)} is not block aligned"
+            )
+        count = len(data) // self.block_size
+        self._check_range(block_no, count)
+        cost = self._access_cost_ns(block_no, len(data), write=True)
+        self.clock.advance_ns(cost)
+        self.stats.record_write(len(data), cost)
+        for i in range(count):
+            chunk = data[i * self.block_size : (i + 1) * self.block_size]
+            self._blocks[block_no + i] = bytes(chunk)
+
+    def discard_block(self, block_no: int) -> None:
+        """Drop a block's contents (TRIM-style); it reads back as zeros."""
+        self._check_range(block_no, 1)
+        self._blocks.pop(block_no, None)
+
+    def flush(self) -> None:
+        """Drain any volatile device buffer.  No-op for the base device."""
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def materialized_blocks(self) -> int:
+        """Number of blocks holding real data (for space accounting tests)."""
+        return len(self._blocks)
+
+    def peek_block(self, block_no: int) -> Optional[bytes]:
+        """Read block contents without charging time (test/debug helper)."""
+        self._check_range(block_no, 1)
+        return self._blocks.get(block_no)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"capacity={self.capacity_bytes}, block_size={self.block_size})"
+        )

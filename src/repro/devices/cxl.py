@@ -1,0 +1,79 @@
+"""Emerging device types: CXL SSD and glass/DNA-class archival storage.
+
+The paper's opening problem statement: "The emergence of new storage
+technologies, such as persistent memory, CXL SSD, and others, are
+producing faster, larger, and cheaper storage devices ... New devices are
+commonly integrated into heterogeneous storage hierarchies."  Mux's whole
+pitch is that integrating such a device requires only a file system that
+speaks VFS — no tiered-FS surgery.
+
+Two device classes beyond the paper's testbed:
+
+* :class:`CxlSsd` — a byte-addressable, cache-coherent flash device behind
+  a CXL link: load/store semantics like PM (so NOVA runs on it unchanged)
+  but with flash-backed latency.  Capacity-tier pricing, memory-tier
+  interface.
+* :class:`ArchivalDevice` — a glass/DNA/tape-class cold store: enormous
+  capacity, block interface, access latencies in the hundreds of
+  milliseconds.  Ext4 runs on it unchanged (journaling still applies).
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import Device
+from repro.devices.pm import PersistentMemoryDevice
+from repro.devices.profile import DeviceKind, DeviceProfile
+from repro.sim.clock import SimClock
+
+#: CXL-attached SSD (e.g. Samsung CMM-H class): byte addressable through
+#: the CXL.mem protocol, flash latency behind a DRAM buffer.
+CXL_SSD = DeviceProfile(
+    name="CXL SSD",
+    kind=DeviceKind.PERSISTENT_MEMORY,  # byte-addressable: ranks with PM
+    read_latency_ns=450,  # CXL round trip + device buffer
+    write_latency_ns=600,
+    read_bandwidth=12e9,
+    write_bandwidth=4e9,
+    byte_addressable=True,
+    flush_latency_ns=25,
+)
+
+#: Archival cold storage (glass / DNA / tape library class).
+ARCHIVAL = DeviceProfile(
+    name="Archival cold store",
+    kind=DeviceKind.HARD_DISK,  # slowest class for ranking purposes
+    read_latency_ns=250_000_000,  # media fetch: hundreds of ms
+    write_latency_ns=150_000_000,
+    read_bandwidth=120e6,
+    write_bandwidth=100e6,
+    seek_latency_ns=0,
+    rotational_latency_ns=0,
+)
+
+
+class CxlSsd(PersistentMemoryDevice):
+    """Byte-addressable CXL flash device — NOVA runs on it unchanged."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bytes: int,
+        clock: SimClock,
+        profile: DeviceProfile = CXL_SSD,
+        block_size: int = 4096,
+    ) -> None:
+        super().__init__(name, capacity_bytes, clock, profile, block_size)
+
+
+class ArchivalDevice(Device):
+    """Cold-store block device — Ext4 runs on it unchanged."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bytes: int,
+        clock: SimClock,
+        profile: DeviceProfile = ARCHIVAL,
+        block_size: int = 4096,
+    ) -> None:
+        super().__init__(name, profile, capacity_bytes, clock, block_size)

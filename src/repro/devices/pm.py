@@ -1,0 +1,124 @@
+"""Simulated persistent-memory device (Optane PMem class).
+
+Persistent memory is byte addressable and accessed with CPU loads/stores;
+durability requires explicitly flushing cache lines (CLWB/CLFLUSH, which
+§3.1 highlights as the reason NOVA beats Strata's log-then-digest design).
+The model exposes :meth:`load` / :meth:`store` at byte granularity plus
+:meth:`flush_range`, and keeps track of how many cache lines were flushed.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import Device
+from repro.devices.profile import DeviceProfile, OPTANE_PMEM_200
+from repro.errors import DeviceError
+from repro.sim.clock import SimClock
+
+CACHE_LINE = 64
+
+
+class PersistentMemoryDevice(Device):
+    """Byte-addressable persistent memory with explicit flush semantics."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bytes: int,
+        clock: SimClock,
+        profile: DeviceProfile = OPTANE_PMEM_200,
+        block_size: int = 4096,
+    ) -> None:
+        if not profile.byte_addressable:
+            raise ValueError("PersistentMemoryDevice needs a byte-addressable profile")
+        super().__init__(name, profile, capacity_bytes, clock, block_size)
+        #: bytes store()d since the last flush_range covering them; tracked
+        #: at cache-line granularity for persistence-ordering tests.
+        self._dirty_lines: set[int] = set()
+
+    # -- byte-granular DAX path ------------------------------------------------
+
+    def _check_span(self, addr: int, length: int) -> None:
+        if length < 0:
+            raise DeviceError(f"{self.name}: negative length {length}")
+        if addr < 0 or addr + length > self.capacity_bytes:
+            raise DeviceError(
+                f"{self.name}: span [{addr}, {addr + length}) exceeds capacity"
+            )
+
+    def load(self, addr: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``addr`` via the DAX path."""
+        self._check_span(addr, length)
+        if length == 0:
+            return b""
+        cost = self.profile.read_latency_ns + self.profile.transfer_ns(
+            length, write=False
+        )
+        self.clock.advance_ns(cost)
+        self.stats.record_read(length, cost)
+        return self._peek_span(addr, length)
+
+    def store(self, addr: int, data: bytes) -> None:
+        """Write ``data`` at ``addr`` via the DAX path (volatile until flush)."""
+        self._check_span(addr, len(data))
+        if not data:
+            return
+        cost = self.profile.write_latency_ns + self.profile.transfer_ns(
+            len(data), write=True
+        )
+        self.clock.advance_ns(cost)
+        self.stats.record_write(len(data), cost)
+        self._poke_span(addr, data)
+        first = addr // CACHE_LINE
+        last = (addr + len(data) - 1) // CACHE_LINE
+        self._dirty_lines.update(range(first, last + 1))
+
+    def flush_range(self, addr: int, length: int) -> None:
+        """Flush the cache lines covering [addr, addr+length) (CLWB model)."""
+        self._check_span(addr, length)
+        if length == 0:
+            return
+        first = addr // CACHE_LINE
+        last = (addr + length - 1) // CACHE_LINE
+        lines = last - first + 1
+        cost = lines * self.profile.flush_latency_ns
+        self.clock.advance_ns(cost)
+        self.stats.record_flush(cost)
+        for line in range(first, last + 1):
+            self._dirty_lines.discard(line)
+
+    def drain(self) -> None:
+        """SFENCE model: order prior flushes.  Charged as one flush op."""
+        self.clock.advance_ns(self.profile.flush_latency_ns)
+        self.stats.record_flush(self.profile.flush_latency_ns)
+
+    @property
+    def unflushed_lines(self) -> int:
+        """Cache lines written but not yet flushed (crash-consistency tests)."""
+        return len(self._dirty_lines)
+
+    # -- span helpers over the block store --------------------------------------
+
+    def _peek_span(self, addr: int, length: int) -> bytes:
+        out = bytearray()
+        pos = addr
+        remaining = length
+        while remaining > 0:
+            bno, off = divmod(pos, self.block_size)
+            take = min(remaining, self.block_size - off)
+            block = self._blocks.get(bno, self._zero_block)
+            out += block[off : off + take]
+            pos += take
+            remaining -= take
+        return bytes(out)
+
+    def _poke_span(self, addr: int, data: bytes) -> None:
+        pos = addr
+        idx = 0
+        while idx < len(data):
+            bno, off = divmod(pos, self.block_size)
+            take = min(len(data) - idx, self.block_size - off)
+            block = bytearray(self._blocks.get(bno, self._zero_block))
+            block[off : off + take] = data[idx : idx + take]
+            self._blocks[bno] = bytes(block)
+            pos += take
+            idx += take

@@ -1,0 +1,104 @@
+"""Timing profiles for the simulated storage devices.
+
+Each profile captures the latency/bandwidth class of one of the devices
+used in the paper's testbed (§3.1):
+
+* Intel Optane Persistent Memory 200 (PM tier),
+* Intel Optane SSD DC P4800X (SSD tier),
+* Seagate Exos X18 (HDD tier).
+
+The constants are drawn from public spec sheets and published
+measurements of those device classes; they are inputs to the simulation,
+not claims of exactness.  The tiering results only require that the
+*relative* ordering and rough magnitudes hold (PM ≪ SSD ≪ HDD latency;
+HDD random ≪ HDD sequential bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class DeviceKind(Enum):
+    """Broad device class; policies and the I/O scheduler key off this."""
+
+    PERSISTENT_MEMORY = "pm"
+    SOLID_STATE = "ssd"
+    HARD_DISK = "hdd"
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Performance characteristics of one device model.
+
+    Latencies are fixed per-operation setup costs in nanoseconds;
+    bandwidths are sustained transfer rates in bytes/second.  A transfer of
+    ``n`` bytes costs ``latency + n / bandwidth``.
+    """
+
+    name: str
+    kind: DeviceKind
+    read_latency_ns: int
+    write_latency_ns: int
+    read_bandwidth: float  # bytes / second
+    write_bandwidth: float  # bytes / second
+    byte_addressable: bool = False
+    # PM-only: cost of one cache-line flush (CLWB + fence amortized).
+    flush_latency_ns: int = 0
+    # HDD-only: average seek and half-rotation costs for random access.
+    seek_latency_ns: int = 0
+    rotational_latency_ns: int = 0
+    # SSD-only: device DRAM write buffer that absorbs bursts.
+    write_buffer_bytes: int = 0
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def transfer_ns(self, nbytes: int, *, write: bool) -> int:
+        """Pure transfer time for ``nbytes`` at the sustained bandwidth."""
+        bandwidth = self.write_bandwidth if write else self.read_bandwidth
+        return round(nbytes * 1e9 / bandwidth)
+
+
+#: Intel Optane Persistent Memory 200 series (per-DIMM class numbers).
+OPTANE_PMEM_200 = DeviceProfile(
+    name="Intel Optane PMem 200",
+    kind=DeviceKind.PERSISTENT_MEMORY,
+    read_latency_ns=170,
+    write_latency_ns=90,
+    read_bandwidth=30e9,
+    write_bandwidth=8e9,
+    byte_addressable=True,
+    # per-line CLWB cost with store pipelining; a 4 KiB block flush is 64
+    # lines -> ~640 ns, comparable to its transfer time at 8 GB/s
+    flush_latency_ns=10,
+)
+
+#: Intel Optane SSD DC P4800X (3D XPoint NVMe SSD, ~10 µs access).
+OPTANE_SSD_P4800X = DeviceProfile(
+    name="Intel Optane SSD DC P4800X",
+    kind=DeviceKind.SOLID_STATE,
+    read_latency_ns=10_000,
+    write_latency_ns=10_000,
+    read_bandwidth=2.4e9,
+    write_bandwidth=2.0e9,
+    write_buffer_bytes=32 * 1024 * 1024,
+)
+
+#: Seagate Exos X18 (7200 rpm enterprise HDD).
+SEAGATE_EXOS_X18 = DeviceProfile(
+    name="Seagate Exos X18",
+    kind=DeviceKind.HARD_DISK,
+    read_latency_ns=50_000,  # controller + command overhead
+    write_latency_ns=50_000,
+    read_bandwidth=270e6,
+    write_bandwidth=260e6,
+    seek_latency_ns=4_160_000,  # average seek ~4.16 ms
+    rotational_latency_ns=4_160_000,  # 7200 rpm -> 8.33 ms/rev, avg half
+)
+
+#: All catalog profiles by tier nickname.
+CATALOG = {
+    "pm": OPTANE_PMEM_200,
+    "ssd": OPTANE_SSD_P4800X,
+    "hdd": SEAGATE_EXOS_X18,
+}

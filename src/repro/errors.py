@@ -1,0 +1,115 @@
+"""Exception hierarchy for the whole reproduction.
+
+File-system errors mirror the POSIX errno values the real VFS would
+return, so tests can assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+import errno
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class DeviceError(ReproError):
+    """A simulated device rejected an operation (bounds, alignment, ...)."""
+
+
+class FsError(ReproError):
+    """A file-system operation failed; carries a POSIX errno."""
+
+    errno: int = errno.EIO
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__(message or self.__class__.__doc__)
+
+
+class FileNotFound(FsError):
+    """No such file or directory (ENOENT)."""
+
+    errno = errno.ENOENT
+
+
+class FileExists(FsError):
+    """File already exists (EEXIST)."""
+
+    errno = errno.EEXIST
+
+
+class NotADirectory(FsError):
+    """A path component is not a directory (ENOTDIR)."""
+
+    errno = errno.ENOTDIR
+
+
+class IsADirectory(FsError):
+    """The operation requires a regular file but got a directory (EISDIR)."""
+
+    errno = errno.EISDIR
+
+
+class DirectoryNotEmpty(FsError):
+    """Directory not empty (ENOTEMPTY)."""
+
+    errno = errno.ENOTEMPTY
+
+
+class NoSpace(FsError):
+    """Device out of space (ENOSPC)."""
+
+    errno = errno.ENOSPC
+
+
+class InvalidArgument(FsError):
+    """Invalid argument to a file-system call (EINVAL)."""
+
+    errno = errno.EINVAL
+
+
+class BadFileHandle(FsError):
+    """Stale or closed file handle (EBADF)."""
+
+    errno = errno.EBADF
+
+
+class ReadOnly(FsError):
+    """Write attempted on a read-only mount or handle (EROFS)."""
+
+    errno = errno.EROFS
+
+
+class CrossDevice(FsError):
+    """Operation would illegally span file systems (EXDEV)."""
+
+    errno = errno.EXDEV
+
+
+class NotSupported(FsError):
+    """Operation not supported by this file system (ENOTSUP)."""
+
+    errno = errno.ENOTSUP
+
+
+class MigrationError(ReproError):
+    """Data movement between tiers failed."""
+
+
+class MigrationUnsupported(MigrationError):
+    """The tiered FS has no wired path between this device pair.
+
+    This is how the Strata baseline reports the N/S cells of Figure 3a.
+    """
+
+
+class MigrationConflict(MigrationError):
+    """OCC detected a conflicting user write; the attempt was discarded."""
+
+
+class PolicyError(ReproError):
+    """A user-defined tiering policy misbehaved (bad tier id, ...)."""
+
+
+class CrashTriggered(ReproError):
+    """Raised by fault injection to simulate a machine crash."""

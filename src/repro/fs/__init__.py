@@ -1,0 +1,7 @@
+"""Device-specific native file systems used as Mux tiers."""
+
+from repro.fs.ext4 import Ext4FileSystem
+from repro.fs.nova import NovaFileSystem
+from repro.fs.xfs import XfsFileSystem
+
+__all__ = ["Ext4FileSystem", "NovaFileSystem", "XfsFileSystem"]

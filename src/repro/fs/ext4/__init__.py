@@ -1,0 +1,5 @@
+"""Ext4 model: block-group FS with a JBD2-style ordered journal."""
+
+from repro.fs.ext4.fs import Ext4FileSystem
+
+__all__ = ["Ext4FileSystem"]

@@ -1,0 +1,5 @@
+"""NOVA model: a log-structured file system for persistent memory."""
+
+from repro.fs.nova.fs import NovaFileSystem
+
+__all__ = ["NovaFileSystem"]

@@ -1,0 +1,5 @@
+"""XFS model: extent-based FS with allocation groups + delayed allocation."""
+
+from repro.fs.xfs.fs import XfsFileSystem
+
+__all__ = ["XfsFileSystem"]

@@ -1,0 +1,26 @@
+"""Building blocks shared by the native file systems."""
+
+from repro.fscommon.allocator import AllocationGroups, BitmapAllocator
+from repro.fscommon.basefs import NativeFileSystem
+from repro.fscommon.extents import Extent, ExtentTree
+from repro.fscommon.inode import Inode, InodeTable
+from repro.fscommon.journal import Journal, JournalFull, Transaction
+from repro.fscommon.journaledfs import JournaledFileSystem
+from repro.fscommon.metastore import MetaStore
+from repro.fscommon.pagecache import PageCache
+
+__all__ = [
+    "AllocationGroups",
+    "BitmapAllocator",
+    "NativeFileSystem",
+    "Extent",
+    "ExtentTree",
+    "Inode",
+    "InodeTable",
+    "Journal",
+    "JournalFull",
+    "Transaction",
+    "JournaledFileSystem",
+    "MetaStore",
+    "PageCache",
+]

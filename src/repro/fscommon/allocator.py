@@ -1,0 +1,222 @@
+"""Bitmap block allocator with extent (contiguous-run) allocation.
+
+Used by all three native file systems.  XFS builds several of these — one
+per allocation group — to model its parallel allocators; Ext4 uses one per
+block group; NOVA uses a single allocator over its data region.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import DeviceError, NoSpace
+
+
+class BitmapAllocator:
+    """Allocates device blocks out of [base, base+count) using a bitmap."""
+
+    def __init__(self, base: int, count: int) -> None:
+        if count <= 0:
+            raise ValueError("allocator needs a positive block count")
+        self.base = base
+        self.count = count
+        self._bitmap = bytearray(count)  # 0 = free, 1 = allocated
+        self._free = count
+        self._cursor = 0  # next-fit scan position
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        return self._free
+
+    @property
+    def used_blocks(self) -> int:
+        return self.count - self._free
+
+    def is_allocated(self, block: int) -> bool:
+        return bool(self._bitmap[self._index(block)])
+
+    def _index(self, block: int) -> int:
+        idx = block - self.base
+        if not 0 <= idx < self.count:
+            raise DeviceError(f"block {block} outside allocator range")
+        return idx
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc_run(self, want: int, hint: Optional[int] = None) -> Tuple[int, int]:
+        """Allocate up to ``want`` contiguous blocks; returns (start, got).
+
+        Uses next-fit from an optional ``hint`` (or the rolling cursor) and
+        returns the longest contiguous run available at the chosen spot, up
+        to ``want``.  Raises :class:`NoSpace` when nothing is free.
+        """
+        if want <= 0:
+            raise ValueError("want must be positive")
+        if self._free == 0:
+            raise NoSpace(f"allocator [{self.base},{self.base + self.count}) full")
+        # a hint is advisory: "place near here".  Hints just past the end
+        # (e.g. next-block hints derived from the last device block) are
+        # simply ignored rather than rejected.
+        if hint is not None and not self.base <= hint < self.base + self.count:
+            hint = None
+        start_idx = self._cursor if hint is None else self._index(hint)
+        best: Optional[Tuple[int, int]] = None
+        idx = start_idx
+        scanned = 0
+        while scanned < self.count:
+            if not self._bitmap[idx]:
+                run_len = self._run_length(idx, want)
+                if run_len >= want:
+                    best = (idx, want)
+                    break
+                if best is None or run_len > best[1]:
+                    best = (idx, run_len)
+                idx = (idx + run_len) % self.count
+                scanned += run_len
+            else:
+                idx = (idx + 1) % self.count
+                scanned += 1
+        if best is None:
+            raise NoSpace("no free run found")
+        run_start, run_len = best
+        for i in range(run_start, run_start + run_len):
+            self._bitmap[i] = 1
+        self._free -= run_len
+        self._cursor = (run_start + run_len) % self.count
+        return self.base + run_start, run_len
+
+    def _run_length(self, idx: int, cap: int) -> int:
+        """Length of the free run starting at bitmap index ``idx`` (<= cap)."""
+        n = 0
+        while idx + n < self.count and n < cap and not self._bitmap[idx + n]:
+            n += 1
+        return n
+
+    def alloc_extent(self, count: int, hint: Optional[int] = None) -> List[Tuple[int, int]]:
+        """Allocate exactly ``count`` blocks as a list of (start, len) runs.
+
+        Prefers one contiguous run; falls back to multiple runs under
+        fragmentation.  Raises :class:`NoSpace` (after rolling back partial
+        allocations) if the allocator cannot satisfy the request.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if count > self._free:
+            raise NoSpace(
+                f"need {count} blocks, only {self._free} free in "
+                f"[{self.base},{self.base + self.count})"
+            )
+        runs: List[Tuple[int, int]] = []
+        remaining = count
+        try:
+            while remaining > 0:
+                start, got = self.alloc_run(remaining, hint)
+                hint = None
+                runs.append((start, got))
+                remaining -= got
+        except NoSpace:
+            for start, got in runs:
+                self.free_run(start, got)
+            raise
+        return runs
+
+    def alloc_block(self, hint: Optional[int] = None) -> int:
+        """Allocate a single block."""
+        start, _ = self.alloc_run(1, hint)
+        return start
+
+    # -- freeing ---------------------------------------------------------------
+
+    def free_run(self, start: int, count: int = 1) -> None:
+        """Free ``count`` blocks starting at ``start`` (must be allocated)."""
+        for block in range(start, start + count):
+            idx = self._index(block)
+            if not self._bitmap[idx]:
+                raise DeviceError(f"double free of block {block}")
+            self._bitmap[idx] = 0
+        self._free += count
+
+    # -- invariants ---------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        assert self._free == self.count - sum(self._bitmap)
+        assert 0 <= self._cursor < self.count
+
+
+class AllocationGroups:
+    """A set of independent allocators over one device (XFS-style AGs)."""
+
+    def __init__(self, base: int, total_blocks: int, groups: int) -> None:
+        if groups <= 0 or total_blocks < groups:
+            raise ValueError("need at least one block per group")
+        self.groups: List[BitmapAllocator] = []
+        per_group = total_blocks // groups
+        cursor = base
+        for g in range(groups):
+            size = per_group if g < groups - 1 else total_blocks - per_group * (groups - 1)
+            self.groups.append(BitmapAllocator(cursor, size))
+            cursor += size
+        self._next_group = 0
+
+    @property
+    def free_blocks(self) -> int:
+        return sum(g.free_blocks for g in self.groups)
+
+    @property
+    def used_blocks(self) -> int:
+        return sum(g.used_blocks for g in self.groups)
+
+    def alloc_extent(self, count: int, hint: Optional[int] = None) -> List[Tuple[int, int]]:
+        """Allocate ``count`` blocks, preferring one group, spilling across."""
+        if count > self.free_blocks:
+            raise NoSpace(f"need {count} blocks, only {self.free_blocks} free")
+        if hint is not None:
+            order = sorted(
+                range(len(self.groups)),
+                key=lambda g: 0 if self._owns(g, hint) else 1,
+            )
+        else:
+            order = [
+                (self._next_group + i) % len(self.groups)
+                for i in range(len(self.groups))
+            ]
+            self._next_group = (self._next_group + 1) % len(self.groups)
+        runs: List[Tuple[int, int]] = []
+        remaining = count
+        for g in order:
+            group = self.groups[g]
+            if group.free_blocks == 0:
+                continue
+            take = min(remaining, group.free_blocks)
+            got = group.alloc_extent(take, hint if self._owns(g, hint) else None)
+            runs.extend(got)
+            remaining -= take
+            if remaining == 0:
+                return runs
+        # free_blocks said we had room; spill loop must have satisfied it
+        for start, length in runs:
+            self.free_run(start, length)
+        raise NoSpace("fragmentation prevented allocation")
+
+    def _owns(self, group_index: int, block: Optional[int]) -> bool:
+        if block is None:
+            return False
+        group = self.groups[group_index]
+        return group.base <= block < group.base + group.count
+
+    def free_run(self, start: int, count: int = 1) -> None:
+        """Free a run, routing each span to its owning group."""
+        remaining = count
+        block = start
+        while remaining > 0:
+            for group in self.groups:
+                if group.base <= block < group.base + group.count:
+                    span = min(remaining, group.base + group.count - block)
+                    group.free_run(block, span)
+                    block += span
+                    remaining -= span
+                    break
+            else:
+                raise DeviceError(f"block {block} outside all allocation groups")

@@ -1,0 +1,129 @@
+"""Inodes and the inode table shared by the native file systems."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import FsError, InvalidArgument
+from repro.fscommon.extents import ExtentTree
+from repro.vfs.stat import FileType, Stat
+
+
+class Inode:
+    """One file or directory inside a native file system."""
+
+    __slots__ = (
+        "ino",
+        "file_type",
+        "size",
+        "atime",
+        "mtime",
+        "ctime",
+        "mode",
+        "nlink",
+        "blockmap",
+        "entries",
+        "allocated_blocks",
+        "private",
+    )
+
+    def __init__(
+        self, ino: int, file_type: FileType, now: float, mode: int
+    ) -> None:
+        self.ino = ino
+        self.file_type = file_type
+        self.size = 0
+        self.atime = now
+        self.mtime = now
+        self.ctime = now
+        self.mode = mode
+        self.nlink = 2 if file_type is FileType.DIRECTORY else 1
+        #: file-block -> device-block mapping (regular files only)
+        self.blockmap: ExtentTree = ExtentTree(value_is_offset=True)
+        #: name -> ino (directories only)
+        self.entries: Dict[str, int] = {}
+        #: device blocks owned by this inode (space accounting)
+        self.allocated_blocks = 0
+        #: per-FS private state (e.g. NOVA's per-inode log)
+        self.private: Optional[object] = None
+
+    @property
+    def is_dir(self) -> bool:
+        return self.file_type is FileType.DIRECTORY
+
+    def stat(self, block_size: int) -> Stat:
+        return Stat(
+            ino=self.ino,
+            file_type=self.file_type,
+            size=self.size,
+            blocks=self.allocated_blocks * (block_size // 512),
+            atime=self.atime,
+            mtime=self.mtime,
+            ctime=self.ctime,
+            mode=self.mode,
+            nlink=self.nlink,
+        )
+
+    def apply_attrs(self, attrs: Dict[str, object]) -> None:
+        """Apply a validated setattr dict to this inode."""
+        for name, value in attrs.items():
+            if name in ("atime", "mtime", "ctime"):
+                if not isinstance(value, (int, float)):
+                    raise InvalidArgument(f"{name} must be a number")
+                setattr(self, name, float(value))
+            elif name == "mode":
+                if not isinstance(value, int):
+                    raise InvalidArgument("mode must be an int")
+                self.mode = value
+            else:
+                raise InvalidArgument(f"unknown attribute {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "dir" if self.is_dir else "file"
+        return f"Inode({self.ino}, {kind}, size={self.size})"
+
+
+class InodeTable:
+    """Allocates inode numbers and stores live inodes."""
+
+    ROOT_INO = 1
+
+    def __init__(self) -> None:
+        self._inodes: Dict[int, Inode] = {}
+        self._next_ino = self.ROOT_INO
+
+    def alloc(self, file_type: FileType, now: float, mode: int) -> Inode:
+        inode = Inode(self._next_ino, file_type, now, mode)
+        self._inodes[inode.ino] = inode
+        self._next_ino += 1
+        return inode
+
+    def restore(self, ino: int, file_type: FileType, now: float, mode: int) -> Inode:
+        """Recreate an inode with a specific number (crash recovery path)."""
+        if ino in self._inodes:
+            raise FsError(f"inode {ino} already present")
+        inode = Inode(ino, file_type, now, mode)
+        self._inodes[ino] = inode
+        self._next_ino = max(self._next_ino, ino + 1)
+        return inode
+
+    def get(self, ino: int) -> Inode:
+        try:
+            return self._inodes[ino]
+        except KeyError:
+            raise FsError(f"stale inode number {ino}")
+
+    def maybe_get(self, ino: int) -> Optional[Inode]:
+        return self._inodes.get(ino)
+
+    def free(self, ino: int) -> Inode:
+        try:
+            return self._inodes.pop(ino)
+        except KeyError:
+            raise FsError(f"freeing unknown inode {ino}")
+
+    def __len__(self) -> int:
+        return len(self._inodes)
+
+    def __iter__(self):
+        return iter(self._inodes.values())

@@ -1,0 +1,422 @@
+"""Base class for the journaled block-device file systems (XFS, Ext4).
+
+Implements ordered-mode write-ahead journaling over the shared
+:class:`~repro.fscommon.basefs.NativeFileSystem` skeleton:
+
+* namespace changes (create/unlink/rename/mkdir/...) commit a journal
+  transaction immediately;
+* data-path metadata (extent mappings, size, mtime) is buffered per inode
+  and committed at ``fsync`` — *after* the data pages have been written to
+  the device (the "ordered" contract);
+* the durable :class:`~repro.fscommon.metastore.MetaStore` only advances at
+  journal checkpoint or crash recovery, so crash tests exercise the real
+  write-ahead semantics.
+
+Subclasses choose the allocator (single bitmap vs allocation groups) and
+whether allocation is delayed to writeback (XFS) or performed at write time
+(Ext4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.devices.base import Device
+from repro.errors import NoSpace
+from repro.fscommon.basefs import MetaRecord, NativeFileSystem
+from repro.fscommon.inode import Inode, InodeTable
+from repro.fscommon.journal import Journal, JournalFull
+from repro.fscommon.metastore import MetaStore
+from repro.fscommon.pagecache import PageCache
+from repro.sim.clock import SimClock
+from repro.vfs.stat import FileType
+
+
+class Allocator(Protocol):
+    """What the journaled FS needs from its block allocator."""
+
+    free_blocks: int
+
+    def alloc_extent(self, count: int, hint: Optional[int] = None) -> List[Tuple[int, int]]: ...
+
+    def free_run(self, start: int, count: int = 1) -> None: ...
+
+
+class JournaledFileSystem(NativeFileSystem):
+    """Ordered-mode journaling file system over a block device."""
+
+    #: fraction of the device reserved for the journal
+    journal_fraction: float = 0.01
+    #: minimum journal size in blocks
+    journal_min_blocks: int = 64
+    #: does allocation wait until writeback (XFS delayed allocation)?
+    delayed_allocation: bool = False
+    #: page cache capacity as a fraction of device blocks
+    page_cache_fraction: float = 0.1
+    #: hard cap on page-cache pages (models limited DRAM per FS)
+    page_cache_max_pages: int = 16384
+
+    def __init__(self, fs_name: str, device: Device, clock: SimClock) -> None:
+        super().__init__(fs_name, device, clock)
+        journal_blocks = max(
+            self.journal_min_blocks, int(device.num_blocks * self.journal_fraction)
+        )
+        if journal_blocks >= device.num_blocks:
+            raise ValueError("device too small for its journal")
+        self.journal = Journal(device, 0, journal_blocks)
+        self._data_base = journal_blocks
+        self._data_blocks = device.num_blocks - journal_blocks
+        self.allocator: Allocator = self._make_allocator(
+            self._data_base, self._data_blocks
+        )
+        cache_pages = min(
+            self.page_cache_max_pages,
+            max(64, int(device.num_blocks * self.page_cache_fraction)),
+        )
+        self.page_cache = PageCache(
+            clock, cache_pages, self.block_size, self._writeback_page
+        )
+        #: durable metadata (advances only at checkpoint/recovery)
+        self._meta = MetaStore()
+        self._meta.format(clock.now())
+        #: data-path records not yet committed, per inode
+        self._pending_data: Dict[int, List[MetaRecord]] = {}
+        #: delayed-allocation blocks: ino -> set of unmapped dirty file blocks
+        self._delalloc: Dict[int, set] = {}
+        #: sequential-read detector: ino -> (last file block read, window)
+        self._readahead: Dict[int, Tuple[int, int]] = {}
+
+    #: maximum readahead window in blocks (Linux default: 128 KiB)
+    readahead_max_blocks: int = 32
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+
+    def _make_allocator(self, base: int, count: int) -> Allocator:
+        raise NotImplementedError
+
+    def _total_data_blocks(self) -> int:
+        return self._data_blocks
+
+    def _free_data_blocks(self) -> int:
+        return self.allocator.free_blocks
+
+    # ------------------------------------------------------------------
+    # metadata durability
+    # ------------------------------------------------------------------
+
+    def _commit_txn(self, records: List[MetaRecord]) -> None:
+        if not records:
+            return
+        txn = self.journal.begin()
+        for kind, fields in records:
+            txn.add(kind, **fields)
+        try:
+            txn.commit()
+        except JournalFull:
+            self.checkpoint()
+            retry = self.journal.begin()
+            for kind, fields in records:
+                retry.add(kind, **fields)
+            retry.commit()
+
+    def _record_namespace(self, records: List[MetaRecord]) -> None:
+        # an inode being freed must not leave buffered data-path records
+        # behind: they would commit *after* its free_inode record and
+        # corrupt checkpoint replay (and its cached pages are dead weight)
+        for kind, fields in records:
+            if kind == "free_inode":
+                ino = int(fields["ino"])  # type: ignore[arg-type]
+                self._pending_data.pop(ino, None)
+                self._delalloc.pop(ino, None)
+                self._readahead.pop(ino, None)
+                self.page_cache.invalidate_inode(ino)
+        self._commit_txn(records)
+
+    def _record_data_meta(self, inode: Inode, records: List[MetaRecord]) -> None:
+        self._pending_data.setdefault(inode.ino, []).extend(records)
+
+    def checkpoint(self) -> int:
+        """Apply committed journal transactions to the durable metadata."""
+        return self.journal.checkpoint(self._meta.apply)
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+
+    def _readahead_window(self, ino: int, file_block: int) -> int:
+        """Sequential-pattern detector: double the window on consecutive
+        reads (like the kernel's readahead ramp-up), reset on random ones."""
+        last, window = self._readahead.get(ino, (-2, 0))
+        if file_block == last + 1:
+            window = min(self.readahead_max_blocks, max(4, window * 2))
+        else:
+            window = 1
+        self._readahead[ino] = (file_block, window)
+        return window
+
+    def _read_block(self, inode: Inode, file_block: int) -> Optional[bytes]:
+        window = self._readahead_window(inode.ino, file_block)
+        cached = self.page_cache.get(inode.ino, file_block)
+        if cached is not None:
+            return cached
+        dev_block = inode.blockmap.lookup(file_block)
+        if dev_block is None:
+            return None
+        # extend the read over device-contiguous, uncached blocks up to the
+        # readahead window: one large device access instead of many small
+        count = 1
+        while (
+            count < window
+            and inode.blockmap.lookup(file_block + count) == dev_block + count
+            and not self.page_cache.contains(inode.ino, file_block + count)
+        ):
+            count += 1
+        data = self.device.read_blocks(dev_block, count)
+        for i in range(count):
+            chunk = data[i * self.block_size : (i + 1) * self.block_size]
+            self.page_cache.put(inode.ino, file_block + i, chunk, dirty=False)
+        return data[: self.block_size]
+
+    def _write_span(self, inode: Inode, offset: int, data: bytes) -> None:
+        pos = offset
+        idx = 0
+        dirtied: List[int] = []
+        while idx < len(data):
+            fb, block_off = divmod(pos, self.block_size)
+            take = min(len(data) - idx, self.block_size - block_off)
+            if take == self.block_size:
+                page = bytes(data[idx : idx + take])
+            else:
+                base = self._read_block(inode, fb)
+                page = bytearray(base if base is not None else bytes(self.block_size))
+                page[block_off : block_off + take] = data[idx : idx + take]
+                page = bytes(page)
+            self.page_cache.put(inode.ino, fb, page, dirty=True)
+            dirtied.append(fb)
+            pos += take
+            idx += take
+        if self.delayed_allocation:
+            marks = self._delalloc.setdefault(inode.ino, set())
+            for fb in dirtied:
+                if inode.blockmap.lookup(fb) is None:
+                    marks.add(fb)
+        else:
+            self._allocate_for(inode, dirtied)
+
+    def _allocate_for(self, inode: Inode, file_blocks: List[int]) -> None:
+        """Map any unmapped blocks in ``file_blocks``, preferring contiguity."""
+        unmapped = [fb for fb in file_blocks if inode.blockmap.lookup(fb) is None]
+        if not unmapped:
+            return
+        # group consecutive file blocks into spans, allocate per span
+        spans: List[Tuple[int, int]] = []
+        start = unmapped[0]
+        run = 1
+        for fb in unmapped[1:]:
+            if fb == start + run:
+                run += 1
+            else:
+                spans.append((start, run))
+                start, run = fb, 1
+        spans.append((start, run))
+        for span_start, span_len in spans:
+            hint = self._alloc_hint(inode, span_start)
+            runs = self.allocator.alloc_extent(span_len, hint)
+            fb = span_start
+            for dev_start, got in runs:
+                inode.blockmap.map_range(fb, got, dev_start)
+                inode.allocated_blocks += got
+                self._record_data_meta(
+                    inode,
+                    [
+                        (
+                            "map_extent",
+                            {
+                                "ino": inode.ino,
+                                "start": fb,
+                                "count": got,
+                                "dev": dev_start,
+                            },
+                        )
+                    ],
+                )
+                fb += got
+
+    def _alloc_hint(self, inode: Inode, file_block: int) -> Optional[int]:
+        """Hint: place new blocks right after the previous file block's home."""
+        if file_block == 0:
+            return None
+        prev = inode.blockmap.lookup(file_block - 1)
+        return None if prev is None else prev + 1
+
+    def _writeback_page(self, ino: int, file_block: int, data: bytes) -> None:
+        """Eviction-path writeback of one dirty page."""
+        inode = self.inodes.maybe_get(ino)
+        if inode is None:
+            return  # inode went away; the page is stale
+        self._allocate_for(inode, [file_block])
+        dev_block = inode.blockmap.lookup(file_block)
+        self.device.write_blocks(dev_block, data)
+        self._delalloc.get(ino, set()).discard(file_block)
+
+    def _flush_inode_data(self, inode: Inode) -> None:
+        """Write every dirty page of ``inode`` with batched device writes.
+
+        Writeback is elevator-ordered: pages are sorted by *device* block
+        (not file offset) and adjacent device blocks are merged into one
+        write, modeling the kernel's request-queue sorting.  This is what
+        lets a page cache turn random small writes into near-sequential
+        disk I/O.
+        """
+        dirty = self.page_cache.dirty_items(inode.ino)
+        if not dirty:
+            return
+        self._allocate_for(inode, [fb for fb, _ in dirty])
+        self._delalloc.pop(inode.ino, None)
+        by_dev = sorted(
+            (inode.blockmap.lookup(fb), fb, data) for fb, data in dirty
+        )
+        batch_start_dev: Optional[int] = None
+        batch: List[bytes] = []
+        flushed: List[int] = []
+
+        def emit() -> None:
+            if batch:
+                self.device.write_blocks(batch_start_dev, b"".join(batch))
+                batch.clear()
+
+        prev_dev = None
+        for dev_block, fb, data in by_dev:
+            if prev_dev is not None and dev_block == prev_dev + 1:
+                batch.append(data)
+            else:
+                emit()
+                batch_start_dev = dev_block
+                batch.append(data)
+            prev_dev = dev_block
+            flushed.append(fb)
+        emit()
+        self.page_cache.mark_clean(inode.ino, flushed)
+
+    def _fsync_inode(self, inode: Inode) -> None:
+        # ordered mode: data reaches the device before metadata commits
+        self._flush_inode_data(inode)
+        self._commit_txn(self._pending_data.pop(inode.ino, []))
+        self.device.flush()
+
+    def _punch_blocks(self, inode: Inode, from_block: int) -> None:
+        """Tail punch (truncate): must also drop delalloc pages, which have
+        dirty page-cache state but no blockmap entry yet."""
+        self.page_cache.invalidate_from(inode.ino, from_block)
+        if inode.ino in self._delalloc:
+            self._delalloc[inode.ino] = {
+                fb for fb in self._delalloc[inode.ino] if fb < from_block
+            }
+        super()._punch_blocks(inode, from_block)
+
+    def _punch_range(self, inode: Inode, start_block: int, count: int) -> None:
+        # drop cached pages over the punched range (stale, not just dirty)
+        self.page_cache.invalidate_range(inode.ino, start_block, count)
+        for start, run_len, value in list(inode.blockmap.runs(start_block, count)):
+            if value is None:
+                continue
+            self.allocator.free_run(value, run_len)
+            inode.allocated_blocks -= run_len
+        inode.blockmap.unmap_range(start_block, count)
+        self._record_data_meta(
+            inode,
+            [
+                (
+                    "unmap_extent",
+                    {"ino": inode.ino, "start": start_block, "count": count},
+                )
+            ],
+        )
+        if inode.ino in self._delalloc:
+            self._delalloc[inode.ino] = {
+                fb
+                for fb in self._delalloc[inode.ino]
+                if not start_block <= fb < start_block + count
+            }
+
+    # ------------------------------------------------------------------
+    # sync / crash / recovery
+    # ------------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Flush all dirty data, commit all metadata, checkpoint the journal."""
+        for inode in list(self.inodes):
+            if not inode.is_dir:
+                self._flush_inode_data(inode)
+        for ino in list(self._pending_data):
+            self._commit_txn(self._pending_data.pop(ino))
+        self.device.flush()
+        self.checkpoint()
+
+    def crash(self) -> None:
+        """Simulate power loss: all volatile state disappears."""
+        self.page_cache.drop_clean()
+        self._pending_data.clear()
+        self._delalloc.clear()
+        self._readahead.clear()
+        self._open_handles.clear()
+
+    def recover(self) -> None:
+        """Mount-time recovery: durable metadata + journal replay."""
+        store = self._meta.clone()
+        for records in self.journal.recover():
+            for kind, fields in records:
+                store.apply(kind, fields)
+        self._meta = store
+        self._rebuild_from_meta()
+
+    def _rebuild_from_meta(self) -> None:
+        self.inodes = InodeTable()
+        table = self.inodes
+        # root first so NativeFileSystem invariants hold
+        for ino in sorted(self._meta.inodes):
+            desc = self._meta.inodes[ino]
+            file_type = (
+                FileType.DIRECTORY
+                if desc["type"] == FileType.DIRECTORY.value
+                else FileType.REGULAR
+            )
+            inode = table.restore(ino, file_type, float(desc["ctime"]), int(desc["mode"]))
+            inode.size = int(desc["size"])
+            inode.atime = float(desc["atime"])
+            inode.mtime = float(desc["mtime"])
+            inode.nlink = int(desc["nlink"])
+            inode.entries = dict(desc["entries"])
+            for start, count, dev in desc["extents"]:
+                inode.blockmap.map_range(start, count, dev)
+                inode.allocated_blocks += count
+        self._root = table.get(InodeTable.ROOT_INO)
+        # rebuild the allocator from the recovered extent ownership
+        self.allocator = self._make_allocator(self._data_base, self._data_blocks)
+        for dev_start, count in self._meta.allocated_runs():
+            self._claim_allocated(dev_start, count)
+
+    def _claim_allocated(self, dev_start: int, count: int) -> None:
+        """Mark a recovered run as allocated in a fresh allocator."""
+        remaining = count
+        block = dev_start
+        # BitmapAllocator and AllocationGroups both expose free_run; claiming
+        # needs allocator-specific access, done via duck typing on groups.
+        groups = getattr(self.allocator, "groups", None)
+        allocators = groups if groups is not None else [self.allocator]
+        while remaining > 0:
+            for alloc in allocators:
+                if alloc.base <= block < alloc.base + alloc.count:
+                    span = min(remaining, alloc.base + alloc.count - block)
+                    for b in range(block, block + span):
+                        idx = b - alloc.base
+                        if not alloc._bitmap[idx]:
+                            alloc._bitmap[idx] = 1
+                            alloc._free -= 1
+                    block += span
+                    remaining -= span
+                    break
+            else:
+                raise NoSpace(f"recovered block {block} outside data region")

@@ -1,0 +1,148 @@
+"""Durable metadata state for the journaled file systems.
+
+A :class:`MetaStore` is the reproduction's model of "what the on-disk
+metadata structures say": inode records, directory entries and extent
+mappings.  The journaled file systems (XFS, Ext4, Strata's digest area)
+keep their fast in-memory state separately and only move the MetaStore
+forward in two places:
+
+* ``checkpoint`` — the journal applies committed transactions, and
+* ``recover`` — after a simulated crash, the journal is re-scanned and the
+  same records are re-applied (idempotently).
+
+Because *only* journal records ever mutate the MetaStore, crash-consistency
+tests get the real write-ahead contract: anything that never made it into a
+committed transaction does not survive.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import FsError
+from repro.vfs.stat import FileType
+
+ROOT_INO = 1
+
+ExtentTuple = Tuple[int, int, int]  # (file_block_start, count, device_block_start)
+
+
+def new_inode_desc(file_type: str, now: float, mode: int) -> Dict[str, object]:
+    """A fresh serializable inode description."""
+    return {
+        "type": file_type,  # "reg" | "dir"
+        "size": 0,
+        "atime": now,
+        "mtime": now,
+        "ctime": now,
+        "mode": mode,
+        "nlink": 2 if file_type == FileType.DIRECTORY.value else 1,
+        "entries": {},  # name -> ino (directories)
+        "extents": [],  # list of ExtentTuple (regular files)
+    }
+
+
+class MetaStore:
+    """Serializable inode/directory/extent state keyed by inode number."""
+
+    def __init__(self) -> None:
+        self.inodes: Dict[int, Dict[str, object]] = {}
+        self.next_ino = ROOT_INO
+
+    def format(self, now: float) -> None:
+        """Create the root directory (mkfs)."""
+        self.inodes = {ROOT_INO: new_inode_desc(FileType.DIRECTORY.value, now, 0o755)}
+        self.next_ino = ROOT_INO + 1
+
+    def clone(self) -> "MetaStore":
+        dup = MetaStore()
+        dup.inodes = copy.deepcopy(self.inodes)
+        dup.next_ino = self.next_ino
+        return dup
+
+    # -- record application ---------------------------------------------------
+
+    def apply(self, kind: str, fields: Dict[str, object]) -> None:
+        """Apply one journal record.  Must stay idempotent-friendly: records
+        are replayed in order after recovery, and a replayed prefix may have
+        been applied already by an earlier checkpoint."""
+        handler = getattr(self, f"_apply_{kind}", None)
+        if handler is None:
+            raise FsError(f"unknown journal record kind {kind!r}")
+        handler(**fields)
+
+    def _apply_alloc_inode(
+        self, ino: int, file_type: str, now: float, mode: int
+    ) -> None:
+        self.inodes.setdefault(ino, new_inode_desc(file_type, now, mode))
+        self.next_ino = max(self.next_ino, ino + 1)
+
+    def _apply_free_inode(self, ino: int) -> None:
+        self.inodes.pop(ino, None)
+
+    def _apply_link(self, parent: int, name: str, ino: int) -> None:
+        entries = self._entries(parent)
+        entries[name] = ino
+        if self.inodes.get(ino, {}).get("type") == FileType.DIRECTORY.value:
+            self.inodes[parent]["nlink"] = int(self.inodes[parent]["nlink"])
+
+    def _apply_unlink(self, parent: int, name: str) -> None:
+        self._entries(parent).pop(name, None)
+
+    def _apply_set_size(self, ino: int, size: int) -> None:
+        self._inode(ino)["size"] = size
+
+    def _apply_set_attr(self, ino: int, **attrs: object) -> None:
+        desc = self._inode(ino)
+        for key, value in attrs.items():
+            if key not in ("atime", "mtime", "ctime", "mode", "nlink"):
+                raise FsError(f"bad attribute {key!r} in set_attr record")
+            desc[key] = value
+
+    def _apply_map_extent(self, ino: int, start: int, count: int, dev: int) -> None:
+        extents = self._extents(ino)
+        _remove_range(extents, start, count)
+        extents.append((start, count, dev))
+        extents.sort()
+
+    def _apply_unmap_extent(self, ino: int, start: int, count: int) -> None:
+        _remove_range(self._extents(ino), start, count)
+
+    # -- accessors --------------------------------------------------------------
+
+    def _inode(self, ino: int) -> Dict[str, object]:
+        try:
+            return self.inodes[ino]
+        except KeyError:
+            raise FsError(f"metastore has no inode {ino}")
+
+    def _entries(self, ino: int) -> Dict[str, int]:
+        return self._inode(ino)["entries"]  # type: ignore[return-value]
+
+    def _extents(self, ino: int) -> List[ExtentTuple]:
+        return self._inode(ino)["extents"]  # type: ignore[return-value]
+
+    def allocated_runs(self) -> Iterable[Tuple[int, int]]:
+        """All (device_block, count) runs owned by any inode — used to
+        rebuild the block allocator after recovery."""
+        for desc in self.inodes.values():
+            for _start, count, dev in desc["extents"]:  # type: ignore[union-attr]
+                yield dev, count
+
+
+def _remove_range(extents: List[ExtentTuple], start: int, count: int) -> None:
+    """Remove [start, start+count) from a serialized extent list, splitting."""
+    end = start + count
+    result: List[ExtentTuple] = []
+    for ext_start, ext_count, dev in extents:
+        ext_end = ext_start + ext_count
+        if ext_end <= start or ext_start >= end:
+            result.append((ext_start, ext_count, dev))
+            continue
+        if ext_start < start:
+            result.append((ext_start, start - ext_start, dev))
+        if ext_end > end:
+            off = end - ext_start
+            result.append((end, ext_end - end, dev + off))
+    extents[:] = sorted(result)

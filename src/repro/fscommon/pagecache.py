@@ -1,0 +1,189 @@
+"""DRAM page cache used by the block-device file systems (XFS, Ext4).
+
+The paper's §2.5 observes that "each file system may use DRAM as its page
+cache [but] the cache cannot be shared across devices" — this class is that
+per-file-system DRAM cache.  NOVA does not instantiate one (DAX bypasses
+the page cache); Mux's *shared* SCM cache is a separate component built in
+``repro.core.cache``.
+
+Write-back semantics: dirty pages accumulate and are flushed on fsync or
+when evicted by LRU pressure.  DRAM hits charge only a copy cost.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.sim.clock import SimClock
+from repro.sim.stats import CounterSet
+
+#: Cost of copying one 4 KiB page from DRAM (~10 GB/s effective + lookup).
+DRAM_PAGE_COPY_NS = 400
+
+PageKey = Tuple[int, int]  # (ino, file block index)
+WritebackFn = Callable[[int, int, bytes], None]  # (ino, file_block, data)
+
+
+class Page:
+    __slots__ = ("data", "dirty")
+
+    def __init__(self, data: bytes, dirty: bool) -> None:
+        self.data = data
+        self.dirty = dirty
+
+
+class PageCache:
+    """Fixed-capacity LRU write-back page cache."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        capacity_pages: int,
+        page_size: int,
+        writeback: WritebackFn,
+    ) -> None:
+        if capacity_pages <= 0:
+            raise ValueError("page cache needs positive capacity")
+        self.clock = clock
+        self.capacity_pages = capacity_pages
+        self.page_size = page_size
+        self._writeback = writeback
+        self._pages: "OrderedDict[PageKey, Page]" = OrderedDict()
+        self.stats = CounterSet()
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, ino: int, file_block: int) -> Optional[bytes]:
+        """Cached page contents or None; a hit charges the DRAM copy cost."""
+        key = (ino, file_block)
+        page = self._pages.get(key)
+        if page is None:
+            self.stats.add("miss")
+            return None
+        self._pages.move_to_end(key)
+        self.clock.advance_ns(DRAM_PAGE_COPY_NS)
+        self.stats.add("hit")
+        return page.data
+
+    def contains(self, ino: int, file_block: int) -> bool:
+        return (ino, file_block) in self._pages
+
+    # -- insert / update -------------------------------------------------------
+
+    def put(self, ino: int, file_block: int, data: bytes, dirty: bool) -> None:
+        """Insert or overwrite a page; may trigger LRU eviction."""
+        if len(data) != self.page_size:
+            raise ValueError(
+                f"page must be exactly {self.page_size} bytes, got {len(data)}"
+            )
+        key = (ino, file_block)
+        existing = self._pages.get(key)
+        if existing is not None:
+            existing.data = data
+            existing.dirty = existing.dirty or dirty
+            self._pages.move_to_end(key)
+        else:
+            self._pages[key] = Page(data, dirty)
+            self.stats.add("insert")
+        self.clock.advance_ns(DRAM_PAGE_COPY_NS)
+        self._evict_to_capacity()
+
+    def _evict_to_capacity(self) -> None:
+        while len(self._pages) > self.capacity_pages:
+            key, page = self._pages.popitem(last=False)
+            self.stats.add("evict")
+            if page.dirty:
+                self.stats.add("evict_dirty")
+                self._writeback(key[0], key[1], page.data)
+
+    # -- flushing ---------------------------------------------------------------
+
+    def flush_inode(self, ino: int) -> int:
+        """Write back all dirty pages of one inode; returns pages flushed."""
+        flushed = 0
+        for key, page in list(self._pages.items()):
+            if key[0] == ino and page.dirty:
+                self._writeback(key[0], key[1], page.data)
+                page.dirty = False
+                flushed += 1
+        self.stats.add("fsync_pages", flushed)
+        return flushed
+
+    def flush_all(self) -> int:
+        """Write back every dirty page."""
+        flushed = 0
+        for key, page in self._pages.items():
+            if page.dirty:
+                self._writeback(key[0], key[1], page.data)
+                page.dirty = False
+                flushed += 1
+        return flushed
+
+    def dirty_items(self, ino: int) -> List[Tuple[int, bytes]]:
+        """(file_block, data) for every dirty page of ``ino``, sorted.
+
+        Used by the journaled file systems to batch writeback into large
+        contiguous device writes instead of page-at-a-time callbacks.
+        """
+        items = [
+            (key[1], page.data)
+            for key, page in self._pages.items()
+            if key[0] == ino and page.dirty
+        ]
+        items.sort()
+        return items
+
+    def mark_clean(self, ino: int, file_blocks: Iterable[int]) -> None:
+        """Clear the dirty bit on specific pages after a batched writeback."""
+        for fb in file_blocks:
+            page = self._pages.get((ino, fb))
+            if page is not None:
+                page.dirty = False
+
+    def invalidate_inode(self, ino: int) -> None:
+        """Drop all pages of an inode (unlink/truncate); dirty pages are lost."""
+        for key in [k for k in self._pages if k[0] == ino]:
+            del self._pages[key]
+
+    def invalidate_range(self, ino: int, first_block: int, count: int) -> None:
+        """Drop pages of ``ino`` in [first_block, first_block+count)."""
+        if count >= len(self._pages):
+            keys = [
+                k
+                for k in self._pages
+                if k[0] == ino and first_block <= k[1] < first_block + count
+            ]
+        else:
+            keys = [
+                (ino, fb)
+                for fb in range(first_block, first_block + count)
+                if (ino, fb) in self._pages
+            ]
+        for key in keys:
+            del self._pages[key]
+
+    def invalidate_from(self, ino: int, first_block: int) -> None:
+        """Drop pages of ``ino`` at or beyond ``first_block`` (truncate)."""
+        for key in [k for k in self._pages if k[0] == ino and k[1] >= first_block]:
+            del self._pages[key]
+
+    def drop_clean(self) -> None:
+        """Drop every clean page (crash simulation keeps nothing volatile)."""
+        for key in [k for k, p in self._pages.items()]:
+            del self._pages[key]
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def dirty_pages(self) -> int:
+        return sum(1 for p in self._pages.values() if p.dirty)
+
+    def hit_ratio(self) -> float:
+        hits = self.stats.get("hit")
+        total = hits + self.stats.get("miss")
+        return hits / total if total else 0.0

@@ -1,0 +1,112 @@
+"""Deterministic virtual clock used by every simulated component.
+
+The whole reproduction runs on *simulated* time: devices, file systems and
+Mux itself charge their latencies to a shared :class:`SimClock` instead of
+sleeping.  This makes every benchmark deterministic and machine-independent
+— throughput and latency numbers depend only on the timing models, never on
+the host CPU.
+
+Time is kept in integer **nanoseconds** internally to avoid floating-point
+drift when billions of small charges are accumulated; the public API speaks
+seconds (floats) for convenience.
+"""
+
+from __future__ import annotations
+
+NSEC_PER_SEC = 1_000_000_000
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds (rounding to nearest)."""
+    return round(value * NSEC_PER_SEC)
+
+
+def microseconds(value: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return round(value * 1_000)
+
+
+def milliseconds(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return round(value * 1_000_000)
+
+
+class SimClock:
+    """A monotonically advancing virtual clock.
+
+    All simulated components share one instance.  Components call
+    :meth:`charge` (or :meth:`advance_ns`) to account for the time their
+    operation takes; measurement harnesses bracket a workload with
+    :meth:`now_ns` reads.
+    """
+
+    __slots__ = ("_now_ns",)
+
+    def __init__(self, start_ns: int = 0) -> None:
+        if start_ns < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now_ns = start_ns
+
+    # -- reading ---------------------------------------------------------
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now_ns
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now_ns / NSEC_PER_SEC
+
+    # -- advancing -------------------------------------------------------
+
+    def advance_ns(self, delta_ns: int) -> int:
+        """Advance the clock by ``delta_ns`` nanoseconds; returns new time.
+
+        Raises ``ValueError`` on negative deltas — simulated time never
+        runs backwards.
+        """
+        if delta_ns < 0:
+            raise ValueError(f"cannot advance clock by {delta_ns}ns")
+        self._now_ns += delta_ns
+        return self._now_ns
+
+    def charge(self, delta_seconds: float) -> int:
+        """Advance the clock by ``delta_seconds`` (float seconds)."""
+        return self.advance_ns(seconds(delta_seconds))
+
+    def charge_us(self, delta_us: float) -> int:
+        """Advance the clock by ``delta_us`` microseconds."""
+        return self.advance_ns(microseconds(delta_us))
+
+    # -- measurement helper ----------------------------------------------
+
+    def stopwatch(self) -> "Stopwatch":
+        """Return a stopwatch started at the current instant."""
+        return Stopwatch(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock(t={self.now():.9f}s)"
+
+
+class Stopwatch:
+    """Measures elapsed simulated time between two instants."""
+
+    __slots__ = ("_clock", "_start_ns")
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start_ns = clock.now_ns
+
+    def restart(self) -> None:
+        """Reset the start point to now."""
+        self._start_ns = self._clock.now_ns
+
+    @property
+    def elapsed_ns(self) -> int:
+        return self._clock.now_ns - self._start_ns
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed simulated seconds since start/restart."""
+        return self.elapsed_ns / NSEC_PER_SEC

@@ -1,0 +1,102 @@
+"""Latency histograms for simulated operations.
+
+Benchmarks and examples use these to report tail latencies (p50/p99/max)
+without storing every sample: values land in exponentially sized buckets,
+so memory stays constant while percentile error stays within one bucket
+(~7% with the default growth factor).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+
+class LatencyHistogram:
+    """Exponential-bucket histogram over nanosecond latencies."""
+
+    def __init__(self, growth: float = 1.07, min_ns: int = 10) -> None:
+        if growth <= 1.0:
+            raise ValueError("growth factor must exceed 1")
+        self.growth = growth
+        self.min_ns = min_ns
+        self._log_growth = math.log(growth)
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total_ns = 0
+        self.max_ns = 0
+        self.min_seen_ns = None
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError("negative latency")
+        self.count += 1
+        self.total_ns += latency_ns
+        if latency_ns > self.max_ns:
+            self.max_ns = latency_ns
+        if self.min_seen_ns is None or latency_ns < self.min_seen_ns:
+            self.min_seen_ns = latency_ns
+        index = self._bucket_index(latency_ns)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def _bucket_index(self, latency_ns: int) -> int:
+        if latency_ns < self.min_ns:
+            return 0
+        return 1 + int(math.log(latency_ns / self.min_ns) / self._log_growth)
+
+    def _bucket_upper_ns(self, index: int) -> float:
+        if index == 0:
+            return float(self.min_ns)
+        return self.min_ns * self.growth**index
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Upper bound of the bucket containing the given quantile (ns)."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        need = math.ceil(self.count * fraction)
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= need:
+                return min(self._bucket_upper_ns(index), float(self.max_ns))
+        return float(self.max_ns)
+
+    def summary_us(self) -> Dict[str, float]:
+        """Mean/median/p99/max in microseconds."""
+        return {
+            "count": self.count,
+            "mean_us": self.mean_ns / 1000.0,
+            "p50_us": self.percentile(0.50) / 1000.0,
+            "p99_us": self.percentile(0.99) / 1000.0,
+            "max_us": self.max_ns / 1000.0,
+        }
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram (same parameters) into this one."""
+        if other.growth != self.growth or other.min_ns != self.min_ns:
+            raise ValueError("histogram parameters differ")
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self.count += other.count
+        self.total_ns += other.total_ns
+        self.max_ns = max(self.max_ns, other.max_ns)
+        if other.min_seen_ns is not None:
+            if self.min_seen_ns is None:
+                self.min_seen_ns = other.min_seen_ns
+            else:
+                self.min_seen_ns = min(self.min_seen_ns, other.min_seen_ns)
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """(bucket upper bound ns, count) pairs, ascending."""
+        return [
+            (self._bucket_upper_ns(i), self._buckets[i])
+            for i in sorted(self._buckets)
+        ]

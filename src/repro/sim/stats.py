@@ -1,0 +1,102 @@
+"""Operation counters shared by devices, file systems and Mux.
+
+Every component exposes a :class:`CounterSet` so benchmarks and tests can
+inspect exactly how much work flowed where (bytes written per device, ops
+per file system, migration retries, cache hits, ...).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class CounterSet:
+    """A named bag of monotonically increasing integer counters."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increase counter ``name`` by ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter {name!r} cannot decrease ({amount})")
+        self._counters[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never touched)."""
+        return self._counters.get(name, 0)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counters.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """An independent copy of all counters."""
+        return dict(self._counters)
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counters.items()))
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={v}" for k, v in self)
+        return f"CounterSet({inner})"
+
+
+class DeviceStats:
+    """I/O accounting for one simulated device."""
+
+    __slots__ = (
+        "read_ops",
+        "write_ops",
+        "flush_ops",
+        "bytes_read",
+        "bytes_written",
+        "busy_ns",
+        "seeks",
+    )
+
+    def __init__(self) -> None:
+        self.read_ops = 0
+        self.write_ops = 0
+        self.flush_ops = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.busy_ns = 0
+        self.seeks = 0
+
+    def record_read(self, nbytes: int, latency_ns: int) -> None:
+        self.read_ops += 1
+        self.bytes_read += nbytes
+        self.busy_ns += latency_ns
+
+    def record_write(self, nbytes: int, latency_ns: int) -> None:
+        self.write_ops += 1
+        self.bytes_written += nbytes
+        self.busy_ns += latency_ns
+
+    def record_flush(self, latency_ns: int) -> None:
+        self.flush_ops += 1
+        self.busy_ns += latency_ns
+
+    def record_seek(self) -> None:
+        self.seeks += 1
+
+    def reset(self) -> None:
+        self.__init__()
+
+    @property
+    def total_ops(self) -> int:
+        return self.read_ops + self.write_ops + self.flush_ops
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DeviceStats(reads={self.read_ops}, writes={self.write_ops}, "
+            f"bytes_read={self.bytes_read}, bytes_written={self.bytes_written})"
+        )

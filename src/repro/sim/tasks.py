@@ -1,0 +1,119 @@
+"""Cooperative task runner used for asynchronous data movement.
+
+The paper's Mux performs block migration *asynchronously* with respect to
+user requests (§2.4).  In a deterministic simulation we model asynchrony
+with cooperative tasks: a migration is a Python generator that yields
+between steps, and a :class:`TaskRunner` interleaves those steps with user
+operations.  Tests can drive the interleaving explicitly to construct the
+exact races the OCC Synchronizer must survive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterator, List, Optional
+
+Step = Generator[None, None, Any]
+
+
+class Task:
+    """One cooperative task wrapping a generator."""
+
+    _next_id = 1
+
+    def __init__(self, gen: Step, name: str = "") -> None:
+        self._gen = gen
+        self.name = name or f"task-{Task._next_id}"
+        Task._next_id += 1
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+    def step(self) -> bool:
+        """Advance one step; returns True while the task is still running."""
+        if self.done:
+            return False
+        try:
+            next(self._gen)
+            return True
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            return False
+        except BaseException as exc:  # surfaced via .error, re-raised by join
+            self.done = True
+            self.error = exc
+            return False
+
+    def join(self) -> Any:
+        """Run the task to completion; returns its result or re-raises."""
+        while self.step():
+            pass
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class TaskRunner:
+    """Round-robin scheduler for cooperative tasks.
+
+    ``spawn`` registers a generator; ``tick`` advances every live task by
+    one step; ``drain`` runs everything to completion.  Errors raised inside
+    a task are stored on the task and re-raised when the runner drains (so a
+    failed background migration cannot vanish silently).
+    """
+
+    def __init__(self) -> None:
+        self._tasks: List[Task] = []
+
+    def spawn(self, gen: Step, name: str = "") -> Task:
+        task = Task(gen, name=name)
+        self._tasks.append(task)
+        return task
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for t in self._tasks if not t.done)
+
+    def tick(self) -> int:
+        """Advance every live task by one step; returns live-task count."""
+        live = 0
+        for task in list(self._tasks):
+            if task.step():
+                live += 1
+        self._reap()
+        return live
+
+    def drain(self) -> None:
+        """Run all tasks to completion, re-raising the first task error."""
+        while self.tick():
+            pass
+        self._raise_errors()
+
+    def _reap(self) -> None:
+        finished = [t for t in self._tasks if t.done and t.error is None]
+        for task in finished:
+            self._tasks.remove(task)
+
+    def _raise_errors(self) -> None:
+        for task in list(self._tasks):
+            if task.error is not None:
+                self._tasks.remove(task)
+                raise task.error
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(list(self._tasks))
+
+
+def run_interleaved(task: Task, between_steps: Callable[[int], None]) -> Any:
+    """Run ``task`` to completion, calling ``between_steps(i)`` after step i.
+
+    This is the deterministic race harness used by OCC tests: the callback
+    issues user writes at chosen points *during* a migration.
+    """
+    i = 0
+    while task.step():
+        between_steps(i)
+        i += 1
+    if task.error is not None:
+        raise task.error
+    return task.result

@@ -1,0 +1,128 @@
+"""One-call assembly of the paper's storage stack.
+
+The evaluation hierarchy (§3.1) is PM + SSD + HDD running NOVA, XFS and
+Ext4 respectively, with Mux multiplexing over them.  Building that stack
+by hand takes ~20 lines of setup; :func:`build_stack` does it in one call
+and returns every piece so tests, benchmarks and examples can poke at any
+layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.mux import MuxFileSystem
+from repro.core.policy import Policy
+from repro.core.scheduler import IoScheduler
+from repro.devices.hdd import HardDiskDrive
+from repro.devices.pm import PersistentMemoryDevice
+from repro.devices.profile import (
+    OPTANE_PMEM_200,
+    OPTANE_SSD_P4800X,
+    SEAGATE_EXOS_X18,
+)
+from repro.devices.ssd import SolidStateDrive
+from repro.errors import InvalidArgument
+from repro.fs.ext4 import Ext4FileSystem
+from repro.fs.nova import NovaFileSystem
+from repro.fs.xfs import XfsFileSystem
+from repro.sim.clock import SimClock
+from repro.vfs.vfs import VFS
+
+MIB = 1024 * 1024
+GIB = 1024 * MIB
+
+#: capacity defaults, scaled down from the paper's testbed so simulations
+#: stay fast; ratios between tiers are preserved (PM < SSD < HDD)
+DEFAULT_CAPACITIES = {
+    "pm": 64 * MIB,
+    "ssd": 256 * MIB,
+    "hdd": 1 * GIB,
+}
+
+MOUNTS = {"pm": "/tiers/pm", "ssd": "/tiers/ssd", "hdd": "/tiers/hdd"}
+
+
+@dataclass
+class Stack:
+    """Everything :func:`build_stack` assembled."""
+
+    clock: SimClock
+    vfs: VFS
+    mux: MuxFileSystem
+    devices: Dict[str, object] = field(default_factory=dict)
+    filesystems: Dict[str, object] = field(default_factory=dict)
+    tier_ids: Dict[str, int] = field(default_factory=dict)
+
+    def tier_id(self, name: str) -> int:
+        return self.tier_ids[name]
+
+
+def build_stack(
+    tiers: Optional[List[str]] = None,
+    capacities: Optional[Dict[str, int]] = None,
+    policy: Optional[Policy] = None,
+    enable_cache: bool = True,
+    scheduler: Optional[IoScheduler] = None,
+    blt_factory=None,
+    clock: Optional[SimClock] = None,
+) -> Stack:
+    """Assemble devices, native file systems, the VFS and Mux.
+
+    ``tiers`` selects a subset of ``["pm", "ssd", "hdd"]`` (default: all
+    three, the paper's hierarchy).  Each tier gets its paper-matched
+    device and file system: NOVA on PM, XFS on SSD, Ext4 on HDD.
+    """
+    tiers = list(tiers) if tiers is not None else ["pm", "ssd", "hdd"]
+    caps = dict(DEFAULT_CAPACITIES)
+    if capacities:
+        caps.update(capacities)
+    clock = clock if clock is not None else SimClock()
+    vfs = VFS(clock)
+
+    kwargs = {}
+    if blt_factory is not None:
+        kwargs["blt_factory"] = blt_factory
+    mux = MuxFileSystem(
+        vfs,
+        clock,
+        policy=policy,
+        enable_cache=enable_cache,
+        scheduler=scheduler,
+        **kwargs,
+    )
+
+    devices: Dict[str, object] = {}
+    filesystems: Dict[str, object] = {}
+    tier_ids: Dict[str, int] = {}
+    for name in tiers:
+        if name == "pm":
+            device = PersistentMemoryDevice("pm0", caps["pm"], clock)
+            fs = NovaFileSystem("nova", device, clock)
+            profile = OPTANE_PMEM_200
+        elif name == "ssd":
+            device = SolidStateDrive("ssd0", caps["ssd"], clock)
+            fs = XfsFileSystem("xfs", device, clock)
+            profile = OPTANE_SSD_P4800X
+        elif name == "hdd":
+            device = HardDiskDrive("hdd0", caps["hdd"], clock)
+            fs = Ext4FileSystem("ext4", device, clock)
+            profile = SEAGATE_EXOS_X18
+        else:
+            raise InvalidArgument(f"unknown tier {name!r}")
+        vfs.mount(MOUNTS[name], fs)
+        tier = mux.add_tier(name, fs, MOUNTS[name], profile)
+        devices[name] = device
+        filesystems[name] = fs
+        tier_ids[name] = tier.tier_id
+
+    vfs.mount("/mux", mux)
+    return Stack(
+        clock=clock,
+        vfs=vfs,
+        mux=mux,
+        devices=devices,
+        filesystems=filesystems,
+        tier_ids=tier_ids,
+    )

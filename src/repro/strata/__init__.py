@@ -1,0 +1,15 @@
+"""Strata baseline: monolithic tiered file system (log + digest design)."""
+
+from repro.strata.fs import (
+    DEVICE_INDICES,
+    DEVICE_NAMES,
+    SUPPORTED_MIGRATIONS,
+    StrataFileSystem,
+)
+
+__all__ = [
+    "DEVICE_INDICES",
+    "DEVICE_NAMES",
+    "SUPPORTED_MIGRATIONS",
+    "StrataFileSystem",
+]

@@ -1,0 +1,5 @@
+"""Operational tooling: consistency checkers (fsck)."""
+
+from repro.tools.fsck import check_mux, check_native_fs, report
+
+__all__ = ["check_mux", "check_native_fs", "report"]

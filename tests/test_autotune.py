@@ -1,0 +1,76 @@
+"""Configuration search (§4, "Configuring Mux")."""
+
+import pytest
+
+from repro.bench.macro import fileserver, varmail
+from repro.core.autotune import (
+    DEFAULT_CANDIDATES,
+    AutoTuner,
+    Configuration,
+    Evaluation,
+)
+
+MIB = 1024 * 1024
+CAPS = {"pm": 8 * MIB, "ssd": 32 * MIB, "hdd": 128 * MIB}
+
+
+class TestConfiguration:
+    def test_build_produces_stack(self):
+        config = Configuration("test", policy="tpfs", enable_cache=False)
+        stack = config.build(CAPS)
+        from repro.core.policies import TpfsPolicy
+
+        assert isinstance(stack.mux.policy, TpfsPolicy)
+        assert stack.mux.cache is None
+
+    def test_tier_subset(self):
+        config = Configuration("two", tiers=("pm", "ssd"))
+        stack = config.build(CAPS)
+        assert len(stack.mux.tier_ids()) == 2
+
+    def test_default_candidates_all_buildable(self):
+        for config in DEFAULT_CANDIDATES:
+            stack = config.build(CAPS)
+            stack.mux.write_file("/probe", b"x")
+            assert stack.mux.read_file("/probe") == b"x"
+
+
+class TestAutoTuner:
+    def test_run_ranks_best_first(self):
+        tuner = AutoTuner(varmail, capacities=CAPS, operations=60)
+        evaluations = tuner.run()
+        assert len(evaluations) == len(DEFAULT_CANDIDATES)
+        scores = [e.ops_per_sec for e in evaluations]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_best(self):
+        tuner = AutoTuner(varmail, capacities=CAPS, operations=40)
+        best = tuner.best()
+        assert isinstance(best, Evaluation)
+        assert best.ops_per_sec > 0
+
+    def test_deterministic(self):
+        def score():
+            tuner = AutoTuner(varmail, capacities=CAPS, operations=40)
+            return [(e.configuration.name, e.ops_per_sec) for e in tuner.run()]
+
+        assert score() == score()
+
+    def test_custom_candidates(self):
+        candidates = [
+            Configuration("only-lru", policy="lru"),
+            Configuration("only-tpfs", policy="tpfs"),
+        ]
+        tuner = AutoTuner(
+            varmail, candidates=candidates, capacities=CAPS, operations=30
+        )
+        names = {e.configuration.name for e in tuner.run()}
+        assert names == {"only-lru", "only-tpfs"}
+
+    def test_capacity_pressure_differentiates(self):
+        """Under a tiny PM tier, at least two configs score differently."""
+        tuner = AutoTuner(
+            fileserver, capacities=CAPS, files=30, operations=150
+        )
+        scores = {e.ops_per_sec for e in tuner.run()}
+        assert len(scores) > 1

@@ -1,0 +1,177 @@
+"""Unit + property tests for the two Block Lookup Table implementations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blt import BlockLookupTable, ByteArrayBlt, ExtentBlt
+
+
+@pytest.fixture(params=["extent", "bytearray"])
+def blt(request) -> BlockLookupTable:
+    return ExtentBlt() if request.param == "extent" else ByteArrayBlt()
+
+
+class TestBltCommon:
+    def test_empty(self, blt):
+        assert blt.lookup(0) is None
+        assert blt.tiers_used() == []
+        assert blt.mapped_blocks() == 0
+        assert blt.end_block() == 0
+
+    def test_map_lookup(self, blt):
+        blt.map_range(4, 8, 1)
+        assert blt.lookup(4) == 1
+        assert blt.lookup(11) == 1
+        assert blt.lookup(12) is None
+        assert blt.lookup(3) is None
+
+    def test_remap_to_other_tier(self, blt):
+        blt.map_range(0, 10, 0)
+        blt.map_range(2, 3, 2)
+        assert blt.lookup(1) == 0
+        assert blt.lookup(2) == 2
+        assert blt.lookup(4) == 2
+        assert blt.lookup(5) == 0
+
+    def test_unmap(self, blt):
+        blt.map_range(0, 6, 1)
+        blt.unmap_range(2, 2)
+        assert blt.lookup(1) == 1
+        assert blt.lookup(2) is None
+        assert blt.lookup(3) is None
+        assert blt.lookup(4) == 1
+
+    def test_blocks_on(self, blt):
+        blt.map_range(0, 4, 0)
+        blt.map_range(4, 6, 1)
+        assert blt.blocks_on(0) == 4
+        assert blt.blocks_on(1) == 6
+        assert blt.blocks_on(9) == 0
+
+    def test_blocks_on_after_remap(self, blt):
+        blt.map_range(0, 10, 0)
+        blt.map_range(0, 10, 1)
+        assert blt.blocks_on(0) == 0
+        assert blt.blocks_on(1) == 10
+
+    def test_tiers_used(self, blt):
+        blt.map_range(0, 1, 2)
+        blt.map_range(1, 1, 0)
+        assert blt.tiers_used() == [0, 2]
+
+    def test_runs_decomposition(self, blt):
+        blt.map_range(2, 2, 0)
+        blt.map_range(6, 2, 1)
+        assert list(blt.runs(0, 10)) == [
+            (0, 2, None),
+            (2, 2, 0),
+            (4, 2, None),
+            (6, 2, 1),
+            (8, 2, None),
+        ]
+
+    def test_end_block(self, blt):
+        blt.map_range(7, 3, 0)
+        assert blt.end_block() == 10
+
+    def test_lookup_cost_positive(self, blt):
+        blt.map_range(0, 4, 0)
+        assert blt.lookup_cost_ns(1, 1) > 0
+
+    def test_memory_accounting(self, blt):
+        blt.map_range(0, 1000, 0)
+        assert blt.memory_bytes() > 0
+
+
+class TestExtentBltSpecific:
+    def test_coalescing_keeps_tree_small(self):
+        blt = ExtentBlt()
+        for i in range(100):
+            blt.map_range(i, 1, 0)
+        assert blt.memory_bytes() == 32  # one extent
+
+    def test_invariants(self):
+        blt = ExtentBlt()
+        blt.map_range(0, 10, 0)
+        blt.map_range(5, 10, 1)
+        blt.unmap_range(7, 2)
+        blt.check_invariants()
+
+    def test_fragmented_lookup_costs_more(self):
+        fragmented = ExtentBlt()
+        for i in range(0, 64, 2):
+            fragmented.map_range(i, 1, i % 3)
+        contiguous = ExtentBlt()
+        contiguous.map_range(0, 64, 0)
+        frag_runs = len(list(fragmented.runs(0, 64)))
+        assert fragmented.lookup_cost_ns(frag_runs, 64) > contiguous.lookup_cost_ns(
+            1, 64
+        )
+
+
+class TestByteArrayBltSpecific:
+    def test_space_one_byte_per_block(self):
+        blt = ByteArrayBlt()
+        blt.map_range(0, 1000, 0)
+        assert blt.memory_bytes() == 1000
+
+    def test_paper_space_overhead_claim(self):
+        """§2.3: one byte per 4 KB -> less than 0.025% space overhead."""
+        blt = ByteArrayBlt()
+        blocks = 10_000
+        blt.map_range(0, blocks, 0)
+        overhead = blt.memory_bytes() / (blocks * 4096)
+        assert overhead < 0.00025
+
+    def test_tier_id_range_enforced(self):
+        blt = ByteArrayBlt()
+        with pytest.raises(ValueError):
+            blt.map_range(0, 1, 255)
+
+    def test_per_block_cost_scales(self):
+        blt = ByteArrayBlt()
+        assert blt.lookup_cost_ns(1, 100) > blt.lookup_cost_ns(1, 1)
+
+
+# ---------------------------------------------------------------------------
+# property: both implementations agree with each other and a dict model
+# ---------------------------------------------------------------------------
+
+blt_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["map", "unmap"]),
+        st.integers(0, 150),
+        st.integers(1, 40),
+        st.integers(0, 3),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=blt_ops)
+def test_blt_implementations_equivalent(ops):
+    extent = ExtentBlt()
+    flat = ByteArrayBlt()
+    model = {}
+    for op, start, count, tier in ops:
+        if op == "map":
+            extent.map_range(start, count, tier)
+            flat.map_range(start, count, tier)
+            for i in range(count):
+                model[start + i] = tier
+        else:
+            extent.unmap_range(start, count)
+            flat.unmap_range(start, count)
+            for i in range(count):
+                model.pop(start + i, None)
+    extent.check_invariants()
+    for block in range(200):
+        assert extent.lookup(block) == model.get(block)
+        assert flat.lookup(block) == model.get(block)
+    assert extent.mapped_blocks() == flat.mapped_blocks() == len(model)
+    assert extent.tiers_used() == flat.tiers_used()
+    for tier in range(4):
+        assert extent.blocks_on(tier) == flat.blocks_on(tier)
+    assert list(extent.runs(0, 200)) == list(flat.runs(0, 200))

@@ -1,0 +1,244 @@
+"""Unit tests for the simulated devices (base, PM, SSD, HDD)."""
+
+import pytest
+
+from repro.devices.base import Device
+from repro.devices.hdd import HardDiskDrive
+from repro.devices.pm import CACHE_LINE, PersistentMemoryDevice
+from repro.devices.profile import (
+    OPTANE_PMEM_200,
+    OPTANE_SSD_P4800X,
+    SEAGATE_EXOS_X18,
+    DeviceKind,
+)
+from repro.devices.ssd import SolidStateDrive
+from repro.errors import DeviceError
+from repro.sim.clock import SimClock
+
+MIB = 1024 * 1024
+
+
+class TestBaseDevice:
+    def make(self, clock=None):
+        clock = clock or SimClock()
+        return Device("d0", OPTANE_SSD_P4800X, 4 * MIB, clock), clock
+
+    def test_write_read_roundtrip(self):
+        dev, _ = self.make()
+        dev.write_blocks(3, b"x" * 4096)
+        assert dev.read_blocks(3) == b"x" * 4096
+
+    def test_unwritten_reads_zero(self):
+        dev, _ = self.make()
+        assert dev.read_blocks(5) == bytes(4096)
+
+    def test_multi_block_io(self):
+        dev, _ = self.make()
+        payload = bytes(range(256)) * 32  # 2 blocks
+        dev.write_blocks(10, payload)
+        assert dev.read_blocks(10, 2) == payload
+
+    def test_out_of_range_read(self):
+        dev, _ = self.make()
+        with pytest.raises(DeviceError):
+            dev.read_blocks(dev.num_blocks)
+
+    def test_out_of_range_write(self):
+        dev, _ = self.make()
+        with pytest.raises(DeviceError):
+            dev.write_blocks(dev.num_blocks - 1, bytes(8192))
+
+    def test_unaligned_write_rejected(self):
+        dev, _ = self.make()
+        with pytest.raises(DeviceError):
+            dev.write_blocks(0, b"short")
+
+    def test_time_charged(self):
+        dev, clock = self.make()
+        before = clock.now_ns
+        dev.write_blocks(0, bytes(4096))
+        assert clock.now_ns > before
+
+    def test_stats_accounting(self):
+        dev, _ = self.make()
+        dev.write_blocks(0, bytes(4096))
+        dev.read_blocks(0)
+        assert dev.stats.write_ops == 1
+        assert dev.stats.read_ops == 1
+        assert dev.stats.bytes_written == 4096
+        assert dev.stats.bytes_read == 4096
+
+    def test_discard_block(self):
+        dev, _ = self.make()
+        dev.write_blocks(1, b"y" * 4096)
+        dev.discard_block(1)
+        assert dev.read_blocks(1) == bytes(4096)
+        assert dev.materialized_blocks == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Device("bad", OPTANE_SSD_P4800X, 4097, SimClock())
+
+    def test_peek_block_free(self):
+        dev, clock = self.make()
+        dev.write_blocks(2, b"z" * 4096)
+        t = clock.now_ns
+        assert dev.peek_block(2) == b"z" * 4096
+        assert clock.now_ns == t  # no time charged
+
+
+class TestPersistentMemory:
+    def make(self):
+        clock = SimClock()
+        return PersistentMemoryDevice("pm0", 4 * MIB, clock), clock
+
+    def test_byte_granular_store_load(self):
+        pm, _ = self.make()
+        pm.store(100, b"hello")
+        assert pm.load(100, 5) == b"hello"
+
+    def test_store_across_block_boundary(self):
+        pm, _ = self.make()
+        pm.store(4090, b"0123456789")
+        assert pm.load(4090, 10) == b"0123456789"
+
+    def test_unflushed_lines_tracked(self):
+        pm, _ = self.make()
+        pm.store(0, bytes(CACHE_LINE * 2))
+        assert pm.unflushed_lines == 2
+        pm.flush_range(0, CACHE_LINE)
+        assert pm.unflushed_lines == 1
+        pm.flush_range(CACHE_LINE, CACHE_LINE)
+        assert pm.unflushed_lines == 0
+
+    def test_flush_charges_per_line(self):
+        pm, clock = self.make()
+        pm.store(0, bytes(4096))
+        t0 = clock.now_ns
+        pm.flush_range(0, 4096)
+        cost_64_lines = clock.now_ns - t0
+        pm.store(0, bytes(64))
+        t1 = clock.now_ns
+        pm.flush_range(0, 64)
+        cost_1_line = clock.now_ns - t1
+        assert cost_64_lines == 64 * cost_1_line
+
+    def test_load_out_of_range(self):
+        pm, _ = self.make()
+        with pytest.raises(DeviceError):
+            pm.load(pm.capacity_bytes - 1, 2)
+
+    def test_block_interface_also_works(self):
+        pm, _ = self.make()
+        pm.write_blocks(0, b"a" * 4096)
+        assert pm.load(0, 4) == b"aaaa"
+
+    def test_faster_than_ssd_per_small_read(self):
+        pm, pm_clock = self.make()
+        ssd = SolidStateDrive("s", 4 * MIB, SimClock())
+        t0 = pm_clock.now_ns
+        pm.load(0, 64)
+        pm_cost = pm_clock.now_ns - t0
+        t0 = ssd.clock.now_ns
+        ssd.read_blocks(0)
+        ssd_cost = ssd.clock.now_ns - t0
+        assert pm_cost < ssd_cost / 10
+
+
+class TestSolidStateDrive:
+    def make(self):
+        clock = SimClock()
+        return SolidStateDrive("s0", 64 * MIB, clock), clock
+
+    def test_write_buffer_absorbs_bursts(self):
+        ssd, clock = self.make()
+        t0 = clock.now_ns
+        ssd.write_blocks(0, bytes(4096))
+        buffered_cost = clock.now_ns - t0
+        # fill the buffer, then writes pay full media cost
+        while ssd.buffered_bytes + 4096 <= ssd.profile.write_buffer_bytes:
+            ssd.write_blocks(1, bytes(4096))
+        t0 = clock.now_ns
+        ssd.write_blocks(2, bytes(4096))
+        full_cost = clock.now_ns - t0
+        assert full_cost > buffered_cost
+
+    def test_flush_drains_buffer(self):
+        ssd, clock = self.make()
+        ssd.write_blocks(0, bytes(4096 * 4))
+        assert ssd.buffered_bytes > 0
+        t0 = clock.now_ns
+        ssd.flush()
+        assert ssd.buffered_bytes == 0
+        assert clock.now_ns > t0
+
+    def test_flush_empty_is_free(self):
+        ssd, clock = self.make()
+        t0 = clock.now_ns
+        ssd.flush()
+        assert clock.now_ns == t0
+
+    def test_kind(self):
+        ssd, _ = self.make()
+        assert ssd.profile.kind is DeviceKind.SOLID_STATE
+
+
+class TestHardDiskDrive:
+    def make(self):
+        clock = SimClock()
+        return HardDiskDrive("h0", 256 * MIB, clock), clock
+
+    def test_sequential_faster_than_random(self):
+        hdd, clock = self.make()
+        # sequential: 64 consecutive blocks
+        hdd.read_blocks(0)  # position the head
+        t0 = clock.now_ns
+        for i in range(1, 65):
+            hdd.read_blocks(i)
+        sequential = clock.now_ns - t0
+        # random: 64 scattered blocks
+        t0 = clock.now_ns
+        for i in range(64):
+            hdd.read_blocks((i * 997) % hdd.num_blocks)
+        random = clock.now_ns - t0
+        assert random > sequential * 5
+
+    def test_head_tracking(self):
+        hdd, _ = self.make()
+        hdd.read_blocks(10, 4)
+        assert hdd.head_block == 14
+
+    def test_seek_counted(self):
+        hdd, _ = self.make()
+        hdd.read_blocks(0)
+        hdd.read_blocks(1000)
+        assert hdd.stats.seeks >= 1
+
+    def test_no_seek_when_contiguous(self):
+        hdd, _ = self.make()
+        hdd.read_blocks(5)
+        seeks = hdd.stats.seeks
+        hdd.read_blocks(6)
+        assert hdd.stats.seeks == seeks
+
+    def test_long_seek_costs_more_than_short(self):
+        hdd, clock = self.make()
+        hdd.read_blocks(0)
+        t0 = clock.now_ns
+        hdd.read_blocks(10)  # short seek
+        short = clock.now_ns - t0
+        hdd.read_blocks(0)
+        t0 = clock.now_ns
+        hdd.read_blocks(hdd.num_blocks - 1)  # full stroke
+        longer = clock.now_ns - t0
+        assert longer > short
+
+
+class TestProfiles:
+    def test_transfer_time(self):
+        ns = OPTANE_PMEM_200.transfer_ns(30_000_000_000, write=False)
+        assert ns == pytest.approx(1_000_000_000, rel=0.01)
+
+    def test_catalog_ordering(self):
+        assert OPTANE_PMEM_200.read_latency_ns < OPTANE_SSD_P4800X.read_latency_ns
+        assert OPTANE_SSD_P4800X.read_latency_ns < SEAGATE_EXOS_X18.seek_latency_ns

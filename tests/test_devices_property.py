@@ -1,0 +1,94 @@
+"""Property tests for the device data models (content correctness)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.base import Device
+from repro.devices.pm import PersistentMemoryDevice
+from repro.devices.profile import OPTANE_SSD_P4800X
+from repro.sim.clock import SimClock
+
+MIB = 1024 * 1024
+BS = 4096
+SPAN = 64 * 1024  # PM test address window
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(0, SPAN - 1),  # addr
+            st.integers(1, 2000),  # length
+            st.integers(0, 255),  # fill byte
+        ),
+        max_size=30,
+    )
+)
+def test_pm_store_load_matches_bytearray(ops):
+    clock = SimClock()
+    pm = PersistentMemoryDevice("pm", 1 * MIB, clock)
+    model = bytearray(SPAN + 2000)
+    for addr, length, fill in ops:
+        data = bytes([fill]) * length
+        pm.store(addr, data)
+        model[addr : addr + length] = data
+    assert pm.load(0, len(model)) == bytes(model)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(0, 63),  # block
+            st.integers(1, 4),  # count
+            st.integers(0, 255),  # fill
+        ),
+        max_size=25,
+    )
+)
+def test_block_device_matches_dict_model(ops):
+    clock = SimClock()
+    dev = Device("d", OPTANE_SSD_P4800X, 1 * MIB, clock)
+    model = {}
+    for block, count, fill in ops:
+        count = min(count, dev.num_blocks - block)
+        if count <= 0:
+            continue
+        data = bytes([fill]) * (count * BS)
+        dev.write_blocks(block, data)
+        for i in range(count):
+            model[block + i] = bytes([fill]) * BS
+    for block in range(64 + 4):
+        if block >= dev.num_blocks:
+            break
+        expect = model.get(block, bytes(BS))
+        assert dev.read_blocks(block) == expect, block
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    flushes=st.lists(
+        st.tuples(st.integers(0, 8000), st.integers(1, 500)), max_size=20
+    )
+)
+def test_pm_flush_accounting_never_negative(flushes):
+    clock = SimClock()
+    pm = PersistentMemoryDevice("pm", 1 * MIB, clock)
+    pm.store(0, bytes(16 * 1024))
+    for addr, length in flushes:
+        pm.flush_range(addr, length)
+        assert pm.unflushed_lines >= 0
+    pm.flush_range(0, 16 * 1024)
+    assert pm.unflushed_lines == 0
+
+
+def test_clock_monotonic_under_mixed_io():
+    clock = SimClock()
+    pm = PersistentMemoryDevice("pm", 1 * MIB, clock)
+    last = clock.now_ns
+    for i in range(50):
+        pm.store((i * 977) % (512 * 1024), bytes(64))
+        pm.load((i * 331) % (512 * 1024), 64)
+        assert clock.now_ns >= last
+        last = clock.now_ns

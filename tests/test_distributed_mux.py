@@ -1,0 +1,166 @@
+"""Distributed Mux (§4): "designing a Mux-to-Mux interconnection ... a set
+of machines mounting traditional file systems can be integrated into a
+distributed storage system."
+
+The composition needs no new mechanism: a *remote machine's Mux* is
+reached through :class:`NetworkFileSystem` and registered as a tier of the
+*local* Mux — exactly the "Mux-to-Mux interconnection" the paper
+speculates about.  Because both ends speak the same VFS interface, the
+local OCC migration, BLT bookkeeping and policies work unchanged across
+the machine boundary.
+"""
+
+import pytest
+
+from repro.core.policy import MigrationOrder
+from repro.fs.nfs import NetworkFileSystem, network_profile
+from repro.stack import build_stack
+from repro.tools.fsck import check_mux
+from repro.vfs.interface import OpenFlags
+
+MIB = 1024 * 1024
+BS = 4096
+
+
+@pytest.fixture
+def federation():
+    """A local 2-tier Mux with a remote machine's 3-tier Mux as its
+    capacity tier (shared clock = shared simulated time base)."""
+    local = build_stack(
+        tiers=["pm", "ssd"],
+        capacities={"pm": 16 * MIB, "ssd": 32 * MIB},
+        enable_cache=False,
+    )
+    remote = build_stack(
+        capacities={"pm": 16 * MIB, "ssd": 32 * MIB, "hdd": 128 * MIB},
+        enable_cache=False,
+        clock=local.clock,
+    )
+    wire = NetworkFileSystem("wire", remote.mux, local.clock, rtt_us=250.0)
+    local.vfs.mount("/tiers/remote-mux", wire)
+    tier = local.mux.add_tier(
+        "remote-mux", wire, "/tiers/remote-mux", network_profile(250.0, 1.25e9)
+    )
+    local.tier_ids["remote-mux"] = tier.tier_id
+    return local, remote, wire
+
+
+class TestMuxOverMux:
+    def test_remote_mux_is_an_ordinary_tier(self, federation):
+        local, remote, wire = federation
+        assert "remote-mux" in [t.name for t in local.mux.registry.ordered()]
+        # ranked last: it is the capacity tier
+        assert local.mux.registry.ordered()[-1].name == "remote-mux"
+
+    def test_write_read_through_the_federation(self, federation):
+        local, remote, wire = federation
+        mux = local.mux
+        handle = mux.create("/doc")
+        mux.write(handle, 0, b"crosses machines" * 100)
+        assert mux.read(handle, 0, 16) == b"crosses machines"
+        mux.close(handle)
+
+    def test_migration_into_the_remote_mux(self, federation):
+        local, remote, wire = federation
+        mux = local.mux
+        handle = mux.create("/archive")
+        payload = bytes(range(256)) * 256  # 64 KiB
+        mux.write(handle, 0, payload)
+        remote_id = local.tier_id("remote-mux")
+        result = mux.engine.migrate_now(
+            MigrationOrder(
+                handle.ino, 0, 16, local.tier_id("pm"), remote_id
+            )
+        )
+        assert result.moved_blocks == 16
+        # data now lives inside the REMOTE Mux, tiered by ITS policy
+        assert remote.mux.exists("/archive")
+        assert remote.mux.getattr("/archive").size >= len(payload)
+        # and reads through the local Mux still return the right bytes
+        assert mux.read(handle, 0, len(payload)) == payload
+        assert wire.stats.get("rpcs") > 0
+        mux.close(handle)
+
+    def test_remote_mux_tiers_its_own_copy(self, federation):
+        local, remote, wire = federation
+        mux = local.mux
+        handle = mux.create("/cold")
+        mux.write(handle, 0, bytes(64 * BS))
+        remote_id = local.tier_id("remote-mux")
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 0, 64, local.tier_id("pm"), remote_id)
+        )
+        # inside the remote machine, ITS Mux placed the blocks per ITS policy
+        remote_inode = remote.mux.ns.resolve("/cold")
+        assert remote_inode.blt.mapped_blocks() == 64
+        # remote machine can migrate its copy internally, transparently
+        remote.mux.engine.migrate_now(
+            MigrationOrder(
+                remote_inode.ino, 0, 64,
+                remote.tier_id("pm"), remote.tier_id("hdd"),
+            )
+        )
+        assert mux.read(handle, 0, 16) == bytes(16)
+        mux.close(handle)
+
+    def test_promotion_back_from_remote(self, federation):
+        local, remote, wire = federation
+        mux = local.mux
+        handle = mux.create("/bounce")
+        mux.write(handle, 0, b"R" * (8 * BS))
+        remote_id = local.tier_id("remote-mux")
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 0, 8, local.tier_id("pm"), remote_id)
+        )
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 0, 8, remote_id, local.tier_id("ssd"))
+        )
+        inode = mux.ns.get(handle.ino)
+        assert inode.blt.tiers_used() == [local.tier_id("ssd")]
+        # the remote copy was punched: its backing file holds no blocks
+        remote_inode = remote.mux.ns.resolve("/bounce")
+        assert remote_inode.blt.mapped_blocks() == 0
+        assert mux.read(handle, 0, 8) == b"RRRRRRRR"
+        mux.close(handle)
+
+    def test_occ_races_across_the_wire(self, federation):
+        from repro.sim.tasks import run_interleaved
+
+        local, remote, wire = federation
+        mux = local.mux
+        handle = mux.create("/raced")
+        mux.write(handle, 0, bytes(256 * BS))
+        remote_id = local.tier_id("remote-mux")
+        task = mux.engine.submit(
+            MigrationOrder(handle.ino, 0, 256, local.tier_id("pm"), remote_id)
+        )
+
+        def racer(step):
+            if step % 2 == 0:
+                mux.write(handle, step * BS, b"LOCAL")
+
+        result = run_interleaved(task, racer)
+        inode = mux.ns.get(handle.ino)
+        assert inode.blt.blocks_on(remote_id) == 256
+        assert mux.read(handle, 0, 5) == b"LOCAL"
+        assert check_mux(mux, deep=False) == []
+        mux.close(handle)
+
+    def test_remote_latency_visible(self, federation):
+        local, remote, wire = federation
+        mux = local.mux
+        clock = local.clock
+        handle = mux.create("/lat")
+        mux.write(handle, 0, bytes(2 * BS))
+        remote_id = local.tier_id("remote-mux")
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 1, 1, local.tier_id("pm"), remote_id)
+        )
+        t0 = clock.now_ns
+        mux.read(handle, 0, 8)
+        local_cost = clock.now_ns - t0
+        t0 = clock.now_ns
+        mux.read(handle, BS, 8)
+        remote_cost = clock.now_ns - t0
+        assert remote_cost >= local_cost + 200_000  # ≥ the RTT
+        mux.close(handle)

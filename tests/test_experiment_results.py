@@ -1,0 +1,68 @@
+"""Unit tests for the experiment result containers (no experiments run)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    Fig3aResult,
+    Fig3bResult,
+    ReadOverheadResult,
+    WriteOverheadResult,
+)
+
+
+class TestFig3aResult:
+    def test_speedup(self):
+        result = Fig3aResult(
+            mux={("pm", "ssd"): 1200.0}, strata={("pm", "ssd"): 600.0}
+        )
+        assert result.speedup_pm_ssd() == pytest.approx(2.0)
+
+    def test_speedup_missing_pair(self):
+        assert Fig3aResult().speedup_pm_ssd() is None
+
+    def test_supported_pair_counts(self):
+        result = Fig3aResult(
+            mux={(a, b): 1.0 for a in "xy" for b in "xy" if a != b},
+            strata={("x", "y"): 1.0},
+        )
+        assert result.mux_supported_pairs == 2
+        assert result.strata_supported_pairs == 1
+
+    def test_rows_mark_ns_cells(self):
+        result = Fig3aResult(mux={("pm", "ssd"): 100.0}, strata={})
+        rows = result.rows()
+        ssd_pm = next(r for r in rows if r.config == "ssd->pm")
+        assert "N/S" in ssd_pm.measured
+
+
+class TestFig3bResult:
+    def test_speedup_and_rows(self):
+        result = Fig3bResult(
+            mux_mb_s={"pm": 200.0, "ssd": 150.0, "hdd": 50.0},
+            strata_mb_s={"pm": 100.0, "ssd": 100.0, "hdd": 50.0},
+        )
+        assert result.speedup("pm") == pytest.approx(2.0)
+        rows = result.rows()
+        assert len(rows) == 3
+        assert "2.00x" in rows[0].measured
+
+
+class TestOverheadResults:
+    def test_read_overhead_pct(self):
+        result = ReadOverheadResult(
+            native_us={"pm": 2.0, "ssd": 10.0, "hdd": 5000.0},
+            mux_us={"pm": 3.0, "ssd": 12.0, "hdd": 5330.0},
+        )
+        assert result.overhead_pct("pm") == pytest.approx(50.0)
+        assert result.overhead_pct("hdd") == pytest.approx(6.6)
+        assert len(result.rows()) == 3
+
+    def test_write_overhead_pct(self):
+        result = WriteOverheadResult(
+            native_mb_s={"pm": 1000.0, "ssd": 500.0, "hdd": 200.0},
+            mux_mb_s={"pm": 980.0, "ssd": 495.0, "hdd": 193.0},
+        )
+        assert result.overhead_pct("pm") == pytest.approx(2.0)
+        assert result.overhead_pct("hdd") == pytest.approx(3.5)
+        rows = result.rows()
+        assert any("-3.5" in r.measured for r in rows)

@@ -1,0 +1,91 @@
+"""Feature imparity between file systems (§4).
+
+"Oftentimes, even for the same metadata attribute, its semantics can vary
+(e.g., FAT records timestamps with a two-second granularity)."
+
+We model a FAT-like file system by giving Ext4's skeleton a 2-second
+timestamp granularity and verify (a) the underlying FS really rounds, and
+(b) Mux's collective inode keeps full-precision metadata regardless of
+which tier holds the data — the collective inode masks the imparity.
+"""
+
+import pytest
+
+from repro.devices.hdd import HardDiskDrive
+from repro.fs.ext4 import Ext4FileSystem
+from repro.fs.nfs import network_profile
+from repro.sim.clock import SimClock
+from repro.stack import build_stack
+
+MIB = 1024 * 1024
+
+
+class FatLikeFileSystem(Ext4FileSystem):
+    """A coarse-clock file system: timestamps round down to 2 seconds."""
+
+    timestamp_granularity = 2.0
+
+
+@pytest.fixture
+def fat(clock, hdd):
+    return FatLikeFileSystem("fat", hdd, clock)
+
+
+class TestCoarseTimestamps:
+    def test_times_rounded_down(self, fat, clock):
+        clock.charge(3.7)  # t = 3.7 s
+        fat.write_file("/f", b"x")
+        st = fat.getattr("/f")
+        assert st.mtime == 2.0
+        assert st.ctime == 2.0
+
+    def test_full_precision_fs_unaffected(self, ext4, clock):
+        clock.charge(3.7)
+        ext4.write_file("/f", b"x")
+        assert ext4.getattr("/f").mtime == pytest.approx(3.7, abs=0.1)
+
+    def test_setattr_also_rounded(self, fat):
+        fat.write_file("/f", b"x")
+        st = fat.setattr("/f", mtime=5.9)
+        assert st.mtime == 4.0
+
+    def test_updates_within_granule_indistinguishable(self, fat, clock):
+        handle = fat.create("/f")
+        clock.charge(2.0)
+        fat.write(handle, 0, b"a")
+        first = fat.getattr("/f").mtime
+        clock.charge(0.5)  # still inside the same 2 s granule
+        fat.write(handle, 0, b"b")
+        assert fat.getattr("/f").mtime == first
+        fat.close(handle)
+
+
+class TestMuxMasksImparity:
+    @pytest.fixture
+    def stack_with_fat(self):
+        stack = build_stack(tiers=["pm"], enable_cache=False)
+        fat_dev = HardDiskDrive("fat-hdd", 64 * MIB, stack.clock)
+        fat_fs = FatLikeFileSystem("fat", fat_dev, stack.clock)
+        stack.vfs.mount("/tiers/fat", fat_fs)
+        tier = stack.mux.add_tier(
+            "fat", fat_fs, "/tiers/fat", network_profile(0.1, 1e9)
+        )
+        stack.tier_ids["fat"] = tier.tier_id
+        return stack, fat_fs
+
+    def test_collective_inode_keeps_precision(self, stack_with_fat):
+        from repro.core.policies import PinnedPolicy
+
+        stack, fat_fs = stack_with_fat
+        mux = stack.mux
+        mux.policy = PinnedPolicy(stack.tier_id("fat"))
+        stack.clock.charge(3.7)
+        handle = mux.create("/doc")
+        mux.write(handle, 0, b"on the coarse tier")
+        # the backing FS rounds...
+        backing = fat_fs.getattr("/doc")
+        assert backing.mtime == 2.0
+        # ...but Mux's collective inode reports full precision (§2.3: the
+        # collective inode caches the authoritative values)
+        assert mux.getattr("/doc").mtime == pytest.approx(3.7, abs=0.1)
+        mux.close(handle)

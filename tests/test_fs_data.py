@@ -1,0 +1,219 @@
+"""Data-path semantics shared by every native file system: reads, writes,
+sparse files, truncate, punch_hole, append."""
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.vfs.interface import OpenFlags
+
+BS = 4096
+
+
+@pytest.fixture
+def handle(any_fs):
+    h = any_fs.create("/f")
+    yield h
+    if h.is_open:
+        any_fs.close(h)
+
+
+class TestReadWrite:
+    def test_roundtrip(self, any_fs, handle):
+        any_fs.write(handle, 0, b"hello world")
+        assert any_fs.read(handle, 0, 11) == b"hello world"
+
+    def test_partial_read(self, any_fs, handle):
+        any_fs.write(handle, 0, b"0123456789")
+        assert any_fs.read(handle, 3, 4) == b"3456"
+
+    def test_read_past_eof(self, any_fs, handle):
+        any_fs.write(handle, 0, b"abc")
+        assert any_fs.read(handle, 2, 100) == b"c"
+        assert any_fs.read(handle, 3, 100) == b""
+        assert any_fs.read(handle, 1000, 1) == b""
+
+    def test_overwrite_within_block(self, any_fs, handle):
+        any_fs.write(handle, 0, b"a" * 100)
+        any_fs.write(handle, 50, b"B" * 10)
+        data = any_fs.read(handle, 0, 100)
+        assert data == b"a" * 50 + b"B" * 10 + b"a" * 40
+
+    def test_cross_block_write(self, any_fs, handle):
+        payload = bytes(range(256)) * 48  # 12 KiB, 3 blocks
+        any_fs.write(handle, 100, payload)
+        assert any_fs.read(handle, 100, len(payload)) == payload
+
+    def test_unaligned_everything(self, any_fs, handle):
+        any_fs.write(handle, BS - 7, b"x" * 14)  # straddles a block boundary
+        assert any_fs.read(handle, BS - 7, 14) == b"x" * 14
+        assert any_fs.getattr("/f").size == BS + 7
+
+    def test_empty_write(self, any_fs, handle):
+        assert any_fs.write(handle, 0, b"") == 0
+        assert any_fs.getattr("/f").size == 0
+
+    def test_write_returns_length(self, any_fs, handle):
+        assert any_fs.write(handle, 0, b"12345") == 5
+
+    def test_size_tracks_high_watermark(self, any_fs, handle):
+        any_fs.write(handle, 0, b"x" * 10)
+        any_fs.write(handle, 5, b"y" * 2)
+        assert any_fs.getattr("/f").size == 10
+
+    def test_negative_offset_rejected(self, any_fs, handle):
+        with pytest.raises(InvalidArgument):
+            any_fs.write(handle, -1, b"x")
+        with pytest.raises(InvalidArgument):
+            any_fs.read(handle, -1, 1)
+
+    def test_readonly_handle_rejects_write(self, any_fs, handle):
+        any_fs.write(handle, 0, b"x")
+        any_fs.close(handle)
+        ro = any_fs.open("/f", OpenFlags.RDONLY)
+        with pytest.raises(InvalidArgument):
+            any_fs.write(ro, 0, b"y")
+        any_fs.close(ro)
+
+    def test_writeonly_handle_rejects_read(self, any_fs, handle):
+        any_fs.write(handle, 0, b"x")
+        any_fs.close(handle)
+        wo = any_fs.open("/f", OpenFlags.WRONLY)
+        with pytest.raises(InvalidArgument):
+            any_fs.read(wo, 0, 1)
+        any_fs.close(wo)
+
+
+class TestSparseFiles:
+    def test_hole_reads_zero(self, any_fs, handle):
+        any_fs.write(handle, 10 * BS, b"tail")
+        assert any_fs.read(handle, 0, 16) == bytes(16)
+        assert any_fs.read(handle, 5 * BS, 16) == bytes(16)
+        assert any_fs.read(handle, 10 * BS, 4) == b"tail"
+
+    def test_holes_consume_no_space(self, any_fs, handle):
+        free_before = any_fs.statfs().free_blocks
+        any_fs.write(handle, 1000 * BS, b"x")
+        any_fs.fsync(handle)
+        used = free_before - any_fs.statfs().free_blocks
+        assert used <= 2  # one data block, not a thousand
+
+    def test_st_blocks_counts_allocated_only(self, any_fs, handle):
+        any_fs.write(handle, 100 * BS, bytes(BS))
+        any_fs.fsync(handle)
+        st = any_fs.getattr("/f")
+        assert st.size == 101 * BS
+        assert st.blocks <= 2 * (BS // 512)
+
+    def test_fill_hole_later(self, any_fs, handle):
+        any_fs.write(handle, 8 * BS, b"end")
+        any_fs.write(handle, 4 * BS, b"middle")
+        assert any_fs.read(handle, 4 * BS, 6) == b"middle"
+        assert any_fs.read(handle, 8 * BS, 3) == b"end"
+
+
+class TestTruncate:
+    def test_shrink(self, any_fs, handle):
+        any_fs.write(handle, 0, b"0123456789")
+        any_fs.truncate(handle, 4)
+        assert any_fs.getattr("/f").size == 4
+        assert any_fs.read(handle, 0, 10) == b"0123"
+
+    def test_shrink_then_grow_zeros(self, any_fs, handle):
+        any_fs.write(handle, 0, b"x" * 10)
+        any_fs.truncate(handle, 4)
+        any_fs.write(handle, 8, b"y")
+        assert any_fs.read(handle, 0, 9) == b"xxxx\0\0\0\0y"
+
+    def test_grow_is_sparse(self, any_fs, handle):
+        free_before = any_fs.statfs().free_blocks
+        any_fs.truncate(handle, 100 * BS)
+        any_fs.fsync(handle)
+        assert any_fs.getattr("/f").size == 100 * BS
+        assert free_before - any_fs.statfs().free_blocks <= 1
+
+    def test_shrink_frees_blocks(self, any_fs, handle):
+        any_fs.write(handle, 0, bytes(64 * BS))
+        any_fs.fsync(handle)
+        used_full = any_fs.statfs().free_blocks
+        any_fs.truncate(handle, BS)
+        any_fs.fsync(handle)
+        assert any_fs.statfs().free_blocks > used_full
+
+    def test_truncate_to_zero(self, any_fs, handle):
+        any_fs.write(handle, 0, b"data")
+        any_fs.truncate(handle, 0)
+        assert any_fs.getattr("/f").size == 0
+        assert any_fs.read(handle, 0, 4) == b""
+
+    def test_partial_block_boundary(self, any_fs, handle):
+        any_fs.write(handle, 0, b"z" * (BS + 100))
+        any_fs.truncate(handle, BS + 10)
+        assert any_fs.read(handle, BS, 100) == b"z" * 10
+
+    def test_negative_rejected(self, any_fs, handle):
+        with pytest.raises(InvalidArgument):
+            any_fs.truncate(handle, -1)
+
+
+class TestAppend:
+    def test_append_flag(self, any_fs):
+        any_fs.write_file("/f", b"head")
+        handle = any_fs.open("/f", OpenFlags.RDWR | OpenFlags.APPEND)
+        any_fs.write(handle, 0, b"-tail")  # offset ignored with O_APPEND
+        assert any_fs.read(handle, 0, 9) == b"head-tail"
+        any_fs.close(handle)
+
+    def test_append_helper(self, any_fs, handle):
+        any_fs.write(handle, 0, b"one")
+        any_fs.append(handle, b"two")
+        assert any_fs.read(handle, 0, 6) == b"onetwo"
+
+
+class TestPunchHole:
+    def test_punch_reads_zero(self, any_fs, handle):
+        any_fs.write(handle, 0, b"q" * (4 * BS))
+        any_fs.fsync(handle)
+        any_fs.punch_hole(handle, BS, 2 * BS)
+        assert any_fs.read(handle, 0, BS) == b"q" * BS
+        assert any_fs.read(handle, BS, 2 * BS) == bytes(2 * BS)
+        assert any_fs.read(handle, 3 * BS, BS) == b"q" * BS
+
+    def test_punch_keeps_size(self, any_fs, handle):
+        any_fs.write(handle, 0, b"q" * (4 * BS))
+        any_fs.punch_hole(handle, 0, 4 * BS)
+        assert any_fs.getattr("/f").size == 4 * BS
+
+    def test_punch_frees_blocks(self, any_fs, handle):
+        any_fs.write(handle, 0, bytes(32 * BS))
+        any_fs.fsync(handle)
+        free_before = any_fs.statfs().free_blocks
+        any_fs.punch_hole(handle, 0, 32 * BS)
+        any_fs.fsync(handle)
+        assert any_fs.statfs().free_blocks >= free_before + 30
+
+    def test_unaligned_rejected(self, any_fs, handle):
+        with pytest.raises(InvalidArgument):
+            any_fs.punch_hole(handle, 1, BS)
+        with pytest.raises(InvalidArgument):
+            any_fs.punch_hole(handle, 0, BS - 1)
+
+
+class TestFsync:
+    def test_fsync_persists_to_device(self, any_fs):
+        handle = any_fs.create("/f")
+        any_fs.write(handle, 0, b"durable")
+        any_fs.fsync(handle)
+        # everything the FS buffered must now be on the device
+        assert any_fs.device.stats.bytes_written > 0
+        any_fs.close(handle)
+
+    def test_fsync_idempotent(self, any_fs):
+        handle = any_fs.create("/f")
+        any_fs.write(handle, 0, b"x")
+        any_fs.fsync(handle)
+        writes = any_fs.device.stats.write_ops
+        any_fs.fsync(handle)
+        any_fs.fsync(handle)
+        # no data re-written (at most journal/metadata noise)
+        assert any_fs.device.stats.write_ops <= writes + 1
+        any_fs.close(handle)

@@ -1,0 +1,212 @@
+"""Namespace semantics shared by every native file system.
+
+The ``any_fs`` fixture runs each test against NOVA, XFS and Ext4.
+"""
+
+import pytest
+
+from repro.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    IsADirectory,
+    NotADirectory,
+)
+from repro.vfs.interface import OpenFlags
+from repro.vfs.stat import FileType
+
+
+class TestCreateOpen:
+    def test_create(self, any_fs):
+        any_fs.create("/f")
+        st = any_fs.getattr("/f")
+        assert st.file_type is FileType.REGULAR
+        assert st.size == 0
+
+    def test_create_duplicate(self, any_fs):
+        any_fs.create("/f")
+        with pytest.raises(FileExists):
+            any_fs.create("/f")
+
+    def test_create_missing_parent(self, any_fs):
+        with pytest.raises(FileNotFound):
+            any_fs.create("/no/such/f")
+
+    def test_open_missing(self, any_fs):
+        with pytest.raises(FileNotFound):
+            any_fs.open("/ghost", OpenFlags.RDONLY)
+
+    def test_open_creat(self, any_fs):
+        handle = any_fs.open("/new", OpenFlags.RDWR | OpenFlags.CREAT)
+        assert any_fs.exists("/new")
+        any_fs.close(handle)
+
+    def test_open_trunc(self, any_fs):
+        any_fs.write_file("/f", b"content")
+        handle = any_fs.open("/f", OpenFlags.RDWR | OpenFlags.TRUNC)
+        assert any_fs.getattr("/f").size == 0
+        any_fs.close(handle)
+
+    def test_open_directory_rejected(self, any_fs):
+        any_fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            any_fs.open("/d", OpenFlags.RDONLY)
+
+    def test_closed_handle_rejected(self, any_fs):
+        handle = any_fs.create("/f")
+        any_fs.close(handle)
+        from repro.errors import BadFileHandle
+
+        with pytest.raises(BadFileHandle):
+            any_fs.read(handle, 0, 1)
+
+
+class TestUnlink:
+    def test_unlink(self, any_fs):
+        any_fs.write_file("/f", b"x")
+        any_fs.unlink("/f")
+        assert not any_fs.exists("/f")
+
+    def test_unlink_missing(self, any_fs):
+        with pytest.raises(FileNotFound):
+            any_fs.unlink("/ghost")
+
+    def test_unlink_directory_rejected(self, any_fs):
+        any_fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            any_fs.unlink("/d")
+
+    def test_unlink_frees_space(self, any_fs):
+        free_before = any_fs.statfs().free_blocks
+        any_fs.write_file("/f", bytes(1024 * 1024))
+        handle = any_fs.open("/f")
+        any_fs.fsync(handle)
+        any_fs.close(handle)
+        assert any_fs.statfs().free_blocks < free_before
+        any_fs.unlink("/f")
+        assert any_fs.statfs().free_blocks == free_before
+
+
+class TestDirectories:
+    def test_mkdir_readdir(self, any_fs):
+        any_fs.mkdir("/d")
+        any_fs.write_file("/d/a", b"")
+        any_fs.write_file("/d/b", b"")
+        assert any_fs.readdir("/d") == ["a", "b"]
+
+    def test_mkdir_duplicate(self, any_fs):
+        any_fs.mkdir("/d")
+        with pytest.raises(FileExists):
+            any_fs.mkdir("/d")
+
+    def test_nested_dirs(self, any_fs):
+        any_fs.mkdir("/a")
+        any_fs.mkdir("/a/b")
+        any_fs.write_file("/a/b/f", b"deep")
+        assert any_fs.read_file("/a/b/f") == b"deep"
+
+    def test_rmdir_empty(self, any_fs):
+        any_fs.mkdir("/d")
+        any_fs.rmdir("/d")
+        assert not any_fs.exists("/d")
+
+    def test_rmdir_nonempty(self, any_fs):
+        any_fs.mkdir("/d")
+        any_fs.write_file("/d/f", b"")
+        with pytest.raises(DirectoryNotEmpty):
+            any_fs.rmdir("/d")
+
+    def test_rmdir_on_file(self, any_fs):
+        any_fs.write_file("/f", b"")
+        with pytest.raises(NotADirectory):
+            any_fs.rmdir("/f")
+
+    def test_readdir_on_file(self, any_fs):
+        any_fs.write_file("/f", b"")
+        with pytest.raises(NotADirectory):
+            any_fs.readdir("/f")
+
+    def test_file_through_file_component(self, any_fs):
+        any_fs.write_file("/f", b"")
+        with pytest.raises((NotADirectory, FileNotFound)):
+            any_fs.getattr("/f/sub")
+
+
+class TestRename:
+    def test_rename_file(self, any_fs):
+        any_fs.write_file("/a", b"data")
+        any_fs.rename("/a", "/b")
+        assert not any_fs.exists("/a")
+        assert any_fs.read_file("/b") == b"data"
+
+    def test_rename_into_dir(self, any_fs):
+        any_fs.mkdir("/d")
+        any_fs.write_file("/a", b"1")
+        any_fs.rename("/a", "/d/a")
+        assert any_fs.read_file("/d/a") == b"1"
+
+    def test_rename_overwrites_file(self, any_fs):
+        any_fs.write_file("/a", b"new")
+        any_fs.write_file("/b", b"old")
+        any_fs.rename("/a", "/b")
+        assert any_fs.read_file("/b") == b"new"
+
+    def test_rename_missing_source(self, any_fs):
+        with pytest.raises(FileNotFound):
+            any_fs.rename("/ghost", "/b")
+
+    def test_rename_dir(self, any_fs):
+        any_fs.mkdir("/d1")
+        any_fs.write_file("/d1/f", b"x")
+        any_fs.rename("/d1", "/d2")
+        assert any_fs.read_file("/d2/f") == b"x"
+
+    def test_rename_dir_over_nonempty_dir(self, any_fs):
+        any_fs.mkdir("/d1")
+        any_fs.mkdir("/d2")
+        any_fs.write_file("/d2/f", b"x")
+        with pytest.raises(DirectoryNotEmpty):
+            any_fs.rename("/d1", "/d2")
+
+
+class TestAttributes:
+    def test_setattr_times(self, any_fs):
+        any_fs.write_file("/f", b"")
+        st = any_fs.setattr("/f", atime=100.0, mtime=200.0)
+        assert st.atime == 100.0
+        assert st.mtime == 200.0
+
+    def test_setattr_mode(self, any_fs):
+        any_fs.write_file("/f", b"")
+        st = any_fs.setattr("/f", mode=0o600)
+        assert st.mode == 0o600
+
+    def test_setattr_unknown_attr(self, any_fs):
+        from repro.errors import InvalidArgument
+
+        any_fs.write_file("/f", b"")
+        with pytest.raises(InvalidArgument):
+            any_fs.setattr("/f", size=10)
+
+    def test_mtime_advances_on_write(self, any_fs, clock):
+        handle = any_fs.create("/f")
+        before = any_fs.getattr("/f").mtime
+        clock.advance_ns(1_000_000)
+        any_fs.write(handle, 0, b"x")
+        assert any_fs.getattr("/f").mtime > before
+        any_fs.close(handle)
+
+    def test_atime_advances_on_read(self, any_fs, clock):
+        any_fs.write_file("/f", b"x")
+        handle = any_fs.open("/f", OpenFlags.RDONLY)
+        before = any_fs.getattr("/f").atime
+        clock.advance_ns(1_000_000)
+        any_fs.read(handle, 0, 1)
+        assert any_fs.getattr("/f").atime > before
+        any_fs.close(handle)
+
+    def test_statfs_sane(self, any_fs):
+        stats = any_fs.statfs()
+        assert stats.total_blocks > 0
+        assert 0 <= stats.free_blocks <= stats.total_blocks
+        assert stats.block_size == any_fs.block_size

@@ -1,0 +1,141 @@
+"""Hard links and page-cache readahead."""
+
+import pytest
+
+from repro.errors import CrossDevice, FileExists, IsADirectory, NotSupported
+from repro.vfs.interface import OpenFlags
+from repro.vfs.vfs import VFS
+
+BS = 4096
+
+
+class TestHardLinks:
+    def test_link_shares_data(self, any_fs):
+        any_fs.write_file("/orig", b"shared bytes")
+        any_fs.link("/orig", "/alias")
+        assert any_fs.read_file("/alias") == b"shared bytes"
+        # writes through one name are visible through the other
+        handle = any_fs.open("/alias", OpenFlags.RDWR)
+        any_fs.write(handle, 0, b"SHARED")
+        any_fs.close(handle)
+        assert any_fs.read_file("/orig")[:6] == b"SHARED"
+
+    def test_nlink_counts(self, any_fs):
+        any_fs.write_file("/orig", b"x")
+        any_fs.link("/orig", "/alias")
+        assert any_fs.getattr("/orig").nlink == 2
+        assert any_fs.getattr("/alias").nlink == 2
+        any_fs.unlink("/orig")
+        assert any_fs.getattr("/alias").nlink == 1
+
+    def test_data_survives_until_last_link(self, any_fs):
+        any_fs.write_file("/orig", b"persist")
+        any_fs.link("/orig", "/alias")
+        free_with_data = any_fs.statfs().free_blocks
+        any_fs.unlink("/orig")
+        assert any_fs.read_file("/alias") == b"persist"
+        assert any_fs.statfs().free_blocks == free_with_data
+        any_fs.unlink("/alias")
+        assert any_fs.statfs().free_blocks >= free_with_data
+
+    def test_link_to_directory_rejected(self, any_fs):
+        any_fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            any_fs.link("/d", "/alias")
+
+    def test_link_over_existing_rejected(self, any_fs):
+        any_fs.write_file("/a", b"")
+        any_fs.write_file("/b", b"")
+        with pytest.raises(FileExists):
+            any_fs.link("/a", "/b")
+
+    def test_same_inode_number(self, any_fs):
+        any_fs.write_file("/orig", b"")
+        any_fs.link("/orig", "/alias")
+        assert any_fs.getattr("/orig").ino == any_fs.getattr("/alias").ino
+
+    def test_links_survive_crash(self, ext4):
+        ext4.write_file("/orig", b"linked")
+        handle = ext4.open("/orig")
+        ext4.fsync(handle)
+        ext4.close(handle)
+        ext4.link("/orig", "/alias")
+        ext4.unlink("/orig")
+        ext4.crash()
+        ext4.recover()
+        assert ext4.read_file("/alias") == b"linked"
+        assert ext4.getattr("/alias").nlink == 1
+
+    def test_vfs_link_same_fs(self, clock, nova, xfs):
+        vfs = VFS(clock)
+        vfs.mount("/pm", nova)
+        vfs.mount("/ssd", xfs)
+        vfs.write_file("/pm/a", b"1")
+        vfs.link("/pm/a", "/pm/b")
+        assert vfs.read_file("/pm/b") == b"1"
+        with pytest.raises(CrossDevice):
+            vfs.link("/pm/a", "/ssd/a")
+
+    def test_mux_link_not_supported(self, stack):
+        stack.mux.write_file("/f", b"")
+        with pytest.raises(NotSupported):
+            stack.mux.link("/f", "/g")
+
+
+class TestReadahead:
+    def test_sequential_reads_batch_device_io(self, ext4, hdd):
+        handle = ext4.create("/f")
+        ext4.write(handle, 0, bytes(64 * BS))
+        ext4.fsync(handle)
+        ext4.page_cache.drop_clean()
+        ext4._readahead.clear()
+        reads_before = hdd.stats.read_ops
+        for fb in range(64):
+            ext4.read(handle, fb * BS, BS)
+        sequential_ios = hdd.stats.read_ops - reads_before
+        assert sequential_ios < 20  # far fewer than 64 single-block reads
+        ext4.close(handle)
+
+    def test_random_reads_do_not_readahead(self, ext4, hdd):
+        handle = ext4.create("/f")
+        ext4.write(handle, 0, bytes(64 * BS))
+        ext4.fsync(handle)
+        ext4.page_cache.drop_clean()
+        ext4._readahead.clear()
+        before = hdd.stats.bytes_read
+        order = [(i * 29) % 64 for i in range(16)]  # scattered
+        for fb in order:
+            ext4.read(handle, fb * BS, BS)
+        # roughly one block per read: no wasted readahead
+        assert hdd.stats.bytes_read - before <= 20 * BS
+        ext4.close(handle)
+
+    def test_sequential_faster_than_random_on_hdd(self, ext4, hdd, clock):
+        handle = ext4.create("/f")
+        ext4.write(handle, 0, bytes(128 * BS))
+        ext4.fsync(handle)
+        ext4.page_cache.drop_clean()
+        ext4._readahead.clear()
+        t0 = clock.now_ns
+        for fb in range(128):
+            ext4.read(handle, fb * BS, BS)
+        sequential = clock.now_ns - t0
+        ext4.page_cache.drop_clean()
+        ext4._readahead.clear()
+        t0 = clock.now_ns
+        for i in range(128):
+            ext4.read(handle, ((i * 37) % 128) * BS, BS)
+        random = clock.now_ns - t0
+        assert sequential < random / 2
+        ext4.close(handle)
+
+    def test_readahead_correctness(self, xfs):
+        handle = xfs.create("/f")
+        payload = b"".join(bytes([i % 251]) * BS for i in range(40))
+        xfs.write(handle, 0, payload)
+        xfs.fsync(handle)
+        xfs.page_cache.drop_clean()
+        xfs._readahead.clear()
+        got = b"".join(xfs.read(handle, fb * BS, BS) for fb in range(40))
+        assert got == payload
+        xfs.close(handle)

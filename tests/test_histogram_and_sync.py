@@ -1,0 +1,149 @@
+"""Latency histograms + O_SYNC semantics."""
+
+import pytest
+
+from repro.core.policies import TpfsPolicy
+from repro.sim.histogram import LatencyHistogram
+from repro.stack import build_stack
+from repro.vfs.interface import OpenFlags
+
+MIB = 1024 * 1024
+
+
+class TestLatencyHistogram:
+    def test_basic_stats(self):
+        hist = LatencyHistogram()
+        for value in (100, 200, 300, 400):
+            hist.record(value)
+        assert hist.count == 4
+        assert hist.mean_ns == 250
+        assert hist.max_ns == 400
+        assert hist.min_seen_ns == 100
+
+    def test_percentiles_bounded_by_bucket(self):
+        hist = LatencyHistogram(growth=1.07)
+        for value in range(1000, 2000):
+            hist.record(value)
+        p50 = hist.percentile(0.5)
+        assert 1400 <= p50 <= 1650  # within one bucket of the true median
+        assert hist.percentile(1.0) == hist.max_ns
+
+    def test_p99_catches_tail(self):
+        hist = LatencyHistogram()
+        for _ in range(99):
+            hist.record(1000)
+        hist.record(1_000_000)
+        assert hist.percentile(0.99) <= 1100
+        assert hist.percentile(0.999) >= 900_000
+
+    def test_invalid_inputs(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.record(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(growth=1.0)
+
+    def test_merge(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        a.record(100)
+        b.record(300)
+        a.merge(b)
+        assert a.count == 2
+        assert a.max_ns == 300
+
+    def test_merge_parameter_mismatch(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(growth=1.07).merge(LatencyHistogram(growth=1.5))
+
+    def test_summary(self):
+        hist = LatencyHistogram()
+        hist.record(2000)
+        summary = hist.summary_us()
+        assert summary["count"] == 1
+        assert summary["mean_us"] == 2.0
+
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(0.99) == 0.0
+        assert hist.mean_ns == 0.0
+
+    def test_buckets_listing(self):
+        hist = LatencyHistogram()
+        hist.record(5)
+        hist.record(10_000)
+        pairs = hist.buckets()
+        assert len(pairs) == 2
+        assert sum(count for _, count in pairs) == 2
+
+
+class TestMuxLatencyRecording:
+    def test_disabled_by_default(self, stack):
+        mux = stack.mux
+        mux.write_file("/f", b"x")
+        assert mux.latencies is None
+
+    def test_records_reads_and_writes(self, stack):
+        mux = stack.mux
+        mux.enable_latency_recording()
+        handle = mux.create("/f")
+        mux.write(handle, 0, b"x" * 5000)
+        mux.read(handle, 0, 5000)
+        mux.read(handle, 100, 10)
+        assert mux.latencies["write"].count == 1
+        assert mux.latencies["read"].count == 2
+        assert mux.latencies["read"].mean_ns > 0
+        mux.close(handle)
+
+
+class TestOSync:
+    def test_sync_write_durable_without_fsync(self):
+        stack = build_stack(enable_cache=False)
+        mux = stack.mux
+        from repro.core.policies import PinnedPolicy
+
+        mux.policy = PinnedPolicy(stack.tier_id("hdd"))
+        handle = mux.open("/f", OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.SYNC)
+        mux.write(handle, 0, b"SYNCWRITE")
+        # crash immediately: O_SYNC means the data must already be durable
+        mux.crash()
+        mux.recover()
+        assert mux.read_file("/f") == b"SYNCWRITE"
+
+    def test_sync_writes_slower(self):
+        stack = build_stack(enable_cache=False)
+        mux = stack.mux
+        from repro.core.policies import PinnedPolicy
+
+        mux.policy = PinnedPolicy(stack.tier_id("hdd"))
+        clock = stack.clock
+        plain = mux.open("/plain", OpenFlags.RDWR | OpenFlags.CREAT)
+        t0 = clock.now_ns
+        mux.write(plain, 0, bytes(4096))
+        plain_cost = clock.now_ns - t0
+        sync = mux.open("/sync", OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.SYNC)
+        t0 = clock.now_ns
+        mux.write(sync, 0, bytes(4096))
+        sync_cost = clock.now_ns - t0
+        assert sync_cost > plain_cost * 5
+        mux.close(plain)
+        mux.close(sync)
+
+    def test_tpfs_routes_sync_writes_to_pm(self):
+        stack = build_stack(policy=TpfsPolicy(), enable_cache=False)
+        mux = stack.mux
+        # large writes normally go to hdd; O_SYNC forces them to pm
+        handle = mux.open("/s", OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.SYNC)
+        mux.write(handle, 0, bytes(4 * MIB))
+        inode = mux.ns.get(handle.ino)
+        assert inode.blt.tiers_used() == [stack.tier_id("pm")]
+        mux.close(handle)
+
+    def test_native_sync_write(self, ext4):
+        handle = ext4.open("/f", OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.SYNC)
+        ext4.write(handle, 0, b"durable now")
+        ext4.crash()
+        ext4.recover()
+        assert ext4.read_file("/f") == b"durable now"

@@ -1,0 +1,131 @@
+"""Smaller interface pieces: flags, handles, errors, shared helpers."""
+
+import errno
+
+import pytest
+
+from repro import errors
+from repro.errors import BadFileHandle, InvalidArgument, NotSupported
+from repro.vfs.interface import FileHandle, FileSystem, OpenFlags, attrs_for_update
+
+
+class TestOpenFlags:
+    def test_readable(self):
+        assert OpenFlags.readable(OpenFlags.RDONLY)
+        assert OpenFlags.readable(OpenFlags.RDWR)
+        assert not OpenFlags.readable(OpenFlags.WRONLY)
+
+    def test_writable(self):
+        assert OpenFlags.writable(OpenFlags.WRONLY)
+        assert OpenFlags.writable(OpenFlags.RDWR)
+        assert not OpenFlags.writable(OpenFlags.RDONLY)
+
+    def test_flag_combinations(self):
+        flags = OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.TRUNC
+        assert OpenFlags.readable(flags)
+        assert OpenFlags.writable(flags)
+        assert flags & OpenFlags.CREAT
+        assert flags & OpenFlags.TRUNC
+        assert not flags & OpenFlags.APPEND
+
+
+class TestFileHandle:
+    def test_lifecycle(self, nova):
+        handle = nova.create("/f")
+        assert handle.is_open
+        handle.ensure_open()
+        nova.close(handle)
+        assert not handle.is_open
+        with pytest.raises(BadFileHandle):
+            handle.ensure_open()
+
+    def test_carries_identity(self, nova):
+        handle = nova.create("/f")
+        assert handle.fs is nova
+        assert handle.path == "/f"
+        assert handle.ino > 0
+        nova.close(handle)
+
+
+class TestAttrsForUpdate:
+    def test_accepts_known(self):
+        clean = attrs_for_update({"atime": 1.0, "mode": 0o600})
+        assert clean == {"atime": 1.0, "mode": 0o600}
+
+    def test_rejects_unknown(self):
+        with pytest.raises(InvalidArgument):
+            attrs_for_update({"size": 5})
+
+    def test_returns_copy(self):
+        original = {"mtime": 2.0}
+        clean = attrs_for_update(original)
+        clean["mtime"] = 9.0
+        assert original["mtime"] == 2.0
+
+
+class TestSharedHelpers:
+    def test_exists(self, any_fs):
+        assert not any_fs.exists("/x")
+        any_fs.write_file("/x", b"")
+        assert any_fs.exists("/x")
+
+    def test_read_write_file_roundtrip(self, any_fs):
+        any_fs.write_file("/f", b"payload")
+        assert any_fs.read_file("/f") == b"payload"
+
+    def test_write_file_replaces(self, any_fs):
+        any_fs.write_file("/f", b"long original content")
+        any_fs.write_file("/f", b"new")
+        assert any_fs.read_file("/f") == b"new"
+
+    def test_append_helper(self, any_fs):
+        handle = any_fs.create("/f")
+        any_fs.append(handle, b"one")
+        any_fs.append(handle, b"two")
+        assert any_fs.read_file("/f") == b"onetwo"
+        any_fs.close(handle)
+
+    def test_check_flags_rejects_garbage(self, any_fs):
+        with pytest.raises(InvalidArgument):
+            any_fs.check_flags(0x3)
+
+    def test_punch_hole_default_not_supported(self, clock):
+        class MinimalFs(FileSystem):
+            fs_name = "minimal"
+
+            def create(self, path, mode=0o644):
+                raise NotImplementedError
+
+            open = unlink = rename = mkdir = rmdir = readdir = create
+            read = write = truncate = fsync = close = create
+            getattr = setattr = statfs = create
+
+        handle = FileHandle(MinimalFs(), 1, "/f", OpenFlags.RDWR)
+        with pytest.raises(NotSupported):
+            MinimalFs().punch_hole(handle, 0, 4096)
+
+
+class TestErrorHierarchy:
+    def test_errnos(self):
+        assert errors.FileNotFound.errno == errno.ENOENT
+        assert errors.FileExists.errno == errno.EEXIST
+        assert errors.NoSpace.errno == errno.ENOSPC
+        assert errors.NotADirectory.errno == errno.ENOTDIR
+        assert errors.IsADirectory.errno == errno.EISDIR
+        assert errors.DirectoryNotEmpty.errno == errno.ENOTEMPTY
+        assert errors.BadFileHandle.errno == errno.EBADF
+        assert errors.CrossDevice.errno == errno.EXDEV
+
+    def test_hierarchy(self):
+        assert issubclass(errors.FileNotFound, errors.FsError)
+        assert issubclass(errors.FsError, errors.ReproError)
+        assert issubclass(errors.MigrationUnsupported, errors.MigrationError)
+        assert issubclass(errors.MigrationConflict, errors.MigrationError)
+
+    def test_default_message(self):
+        exc = errors.FileNotFound()
+        assert "ENOENT" in str(exc)
+
+    def test_custom_message(self):
+        exc = errors.NoSpace("tier pm is full")
+        assert str(exc) == "tier pm is full"

@@ -1,0 +1,87 @@
+"""The merged-namespace contract (§2.1): users see one tree; every Mux
+file is backed on at least one tier; tiers hold nothing unexpected."""
+
+import pytest
+
+from repro.bench.macro import fileserver, varmail
+from repro.core.policy import MigrationOrder
+from repro.vfs import path as vpath
+
+MIB = 1024 * 1024
+BS = 4096
+
+
+def walk_fs(fs, path="/"):
+    """All file paths in one native file system (skipping Mux internals)."""
+    out = set()
+    for name in fs.readdir(path):
+        child = vpath.join(path, name)
+        if name.startswith(".mux_"):
+            continue
+        if fs.getattr(child).is_dir:
+            out |= walk_fs(fs, child)
+        else:
+            out.add(child)
+    return out
+
+
+def walk_mux(mux, path="/"):
+    out = set()
+    for name in mux.readdir(path):
+        child = vpath.join(path, name)
+        if mux.getattr(child).is_dir:
+            out |= walk_mux(mux, child)
+        else:
+            out.add(child)
+    return out
+
+
+class TestMergedView:
+    def test_tiers_hold_only_mux_files(self, stack_nocache):
+        stack = stack_nocache
+        mux = stack.mux
+        fileserver(mux, stack.clock, files=8, operations=60)
+        mux.maintain()
+        mux_files = walk_mux(mux)
+        for fs in stack.filesystems.values():
+            assert walk_fs(fs) <= mux_files
+
+    def test_every_mux_file_backed_somewhere(self, stack_nocache):
+        stack = stack_nocache
+        mux = stack.mux
+        varmail(mux, stack.clock, operations=50)
+        union = set()
+        for fs in stack.filesystems.values():
+            union |= walk_fs(fs)
+        for path in walk_mux(mux):
+            assert path in union, f"{path} has no backing file on any tier"
+
+    def test_same_name_on_multiple_tiers_single_view(self, stack_nocache):
+        """§2.1: 'the same file name exists in different file systems' but
+        the user sees it exactly once."""
+        stack = stack_nocache
+        mux = stack.mux
+        handle = mux.create("/split.bin")
+        mux.write(handle, 0, bytes(8 * BS))
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 4, 4, stack.tier_id("pm"), stack.tier_id("ssd"))
+        )
+        on_tiers = sum(
+            1 for fs in stack.filesystems.values() if "/split.bin" in walk_fs(fs)
+        )
+        assert on_tiers == 2  # two backing copies (different block ranges)...
+        assert mux.readdir("/").count("split.bin") == 1  # ...one user view
+        mux.close(handle)
+
+    def test_unlink_cleans_every_tier(self, stack_nocache):
+        stack = stack_nocache
+        mux = stack.mux
+        handle = mux.create("/gone.bin")
+        mux.write(handle, 0, bytes(8 * BS))
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 0, 4, stack.tier_id("pm"), stack.tier_id("hdd"))
+        )
+        mux.close(handle)
+        mux.unlink("/gone.bin")
+        for fs in stack.filesystems.values():
+            assert "/gone.bin" not in walk_fs(fs)

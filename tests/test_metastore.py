@@ -1,0 +1,110 @@
+"""Unit tests for the durable metadata store."""
+
+import pytest
+
+from repro.errors import FsError
+from repro.fscommon.metastore import ROOT_INO, MetaStore
+
+
+@pytest.fixture
+def store():
+    s = MetaStore()
+    s.format(now=1.0)
+    return s
+
+
+class TestFormat:
+    def test_root_exists(self, store):
+        assert ROOT_INO in store.inodes
+        assert store.inodes[ROOT_INO]["type"] == "dir"
+
+    def test_next_ino(self, store):
+        assert store.next_ino == ROOT_INO + 1
+
+
+class TestRecords:
+    def test_alloc_and_link(self, store):
+        store.apply("alloc_inode", {"ino": 2, "file_type": "reg", "now": 2.0, "mode": 0o644})
+        store.apply("link", {"parent": ROOT_INO, "name": "f", "ino": 2})
+        assert store.inodes[ROOT_INO]["entries"] == {"f": 2}
+        assert store.next_ino == 3
+
+    def test_alloc_idempotent(self, store):
+        rec = {"ino": 2, "file_type": "reg", "now": 2.0, "mode": 0o644}
+        store.apply("alloc_inode", rec)
+        store.apply("set_size", {"ino": 2, "size": 7})
+        store.apply("alloc_inode", rec)  # replay must not reset size
+        assert store.inodes[2]["size"] == 7
+
+    def test_unlink(self, store):
+        store.apply("alloc_inode", {"ino": 2, "file_type": "reg", "now": 0, "mode": 0})
+        store.apply("link", {"parent": ROOT_INO, "name": "f", "ino": 2})
+        store.apply("unlink", {"parent": ROOT_INO, "name": "f"})
+        assert store.inodes[ROOT_INO]["entries"] == {}
+
+    def test_unlink_missing_is_noop(self, store):
+        store.apply("unlink", {"parent": ROOT_INO, "name": "ghost"})
+
+    def test_free_inode(self, store):
+        store.apply("alloc_inode", {"ino": 2, "file_type": "reg", "now": 0, "mode": 0})
+        store.apply("free_inode", {"ino": 2})
+        assert 2 not in store.inodes
+
+    def test_set_attr(self, store):
+        store.apply("set_attr", {"ino": ROOT_INO, "mtime": 9.0, "mode": 0o700})
+        assert store.inodes[ROOT_INO]["mtime"] == 9.0
+        assert store.inodes[ROOT_INO]["mode"] == 0o700
+
+    def test_set_attr_bad_field(self, store):
+        with pytest.raises(FsError):
+            store.apply("set_attr", {"ino": ROOT_INO, "bogus": 1})
+
+    def test_unknown_record_kind(self, store):
+        with pytest.raises(FsError):
+            store.apply("frobnicate", {})
+
+
+class TestExtentRecords:
+    def setup_file(self, store):
+        store.apply("alloc_inode", {"ino": 5, "file_type": "reg", "now": 0, "mode": 0})
+
+    def test_map_extent(self, store):
+        self.setup_file(store)
+        store.apply("map_extent", {"ino": 5, "start": 0, "count": 4, "dev": 100})
+        assert store.inodes[5]["extents"] == [(0, 4, 100)]
+
+    def test_map_overlap_replaces(self, store):
+        self.setup_file(store)
+        store.apply("map_extent", {"ino": 5, "start": 0, "count": 10, "dev": 100})
+        store.apply("map_extent", {"ino": 5, "start": 3, "count": 2, "dev": 500})
+        extents = store.inodes[5]["extents"]
+        assert (0, 3, 100) in extents
+        assert (3, 2, 500) in extents
+        assert (5, 5, 105) in extents
+
+    def test_unmap_extent_splits(self, store):
+        self.setup_file(store)
+        store.apply("map_extent", {"ino": 5, "start": 0, "count": 10, "dev": 100})
+        store.apply("unmap_extent", {"ino": 5, "start": 4, "count": 2})
+        extents = store.inodes[5]["extents"]
+        assert (0, 4, 100) in extents
+        assert (6, 4, 106) in extents
+
+    def test_allocated_runs(self, store):
+        self.setup_file(store)
+        store.apply("map_extent", {"ino": 5, "start": 0, "count": 4, "dev": 100})
+        store.apply("map_extent", {"ino": 5, "start": 10, "count": 2, "dev": 300})
+        assert sorted(store.allocated_runs()) == [(100, 4), (300, 2)]
+
+
+class TestClone:
+    def test_clone_is_deep(self, store):
+        store.apply("alloc_inode", {"ino": 2, "file_type": "reg", "now": 0, "mode": 0})
+        dup = store.clone()
+        dup.apply("set_size", {"ino": 2, "size": 50})
+        assert store.inodes[2]["size"] == 0
+        assert dup.inodes[2]["size"] == 50
+
+    def test_clone_next_ino(self, store):
+        store.apply("alloc_inode", {"ino": 7, "file_type": "reg", "now": 0, "mode": 0})
+        assert store.clone().next_ino == 8

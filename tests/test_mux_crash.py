@@ -1,0 +1,120 @@
+"""Crash-consistency composition through Mux (§4).
+
+"Mux sends fsync requests to all the file systems that are responsible
+for a given file and synchronizes the completion ... Upon a crash, Mux
+relies on each participating file system to recover the data blocks it
+stores."
+"""
+
+import pytest
+
+from repro.core.policies import PinnedPolicy
+from repro.core.policy import MigrationOrder
+from repro.stack import build_stack
+
+MIB = 1024 * 1024
+BS = 4096
+
+
+def crash_recover(mux):
+    mux.crash()
+    mux.recover()
+
+
+class TestCrashComposition:
+    def test_fsynced_file_on_journaled_tier_survives(self, stack_nocache):
+        stack = stack_nocache
+        mux = stack.mux
+        mux.policy = PinnedPolicy(stack.tier_id("hdd"))
+        handle = mux.create("/f")
+        mux.write(handle, 0, b"KEEP" * 256)
+        mux.fsync(handle)
+        crash_recover(mux)
+        handle = mux.open("/f")
+        assert mux.read(handle, 0, 1024) == b"KEEP" * 256
+        mux.close(handle)
+
+    def test_unsynced_hdd_data_lost_but_pm_data_survives(self, stack_nocache):
+        """Crash consistency is composed per participating FS: NOVA blocks
+        survive without fsync, Ext4 blocks do not."""
+        stack = stack_nocache
+        mux = stack.mux
+        handle = mux.create("/f")
+        mux.write(handle, 0, b"P" * (2 * BS))  # pm (NOVA): durable at write
+        hdd_id = stack.tier_id("hdd")
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 0, 2, stack.tier_id("pm"), hdd_id)
+        )  # commit fsyncs the destination
+        mux.policy = PinnedPolicy(hdd_id)
+        mux.write(handle, 2 * BS, b"V" * BS)  # hdd (Ext4): volatile, no fsync
+        crash_recover(mux)
+        handle = mux.open("/f")
+        assert mux.read(handle, 0, 2) == b"PP"  # migrated+fsynced data safe
+        assert mux.read(handle, 2 * BS, 2) != b"VV"  # unsynced ext4 data gone
+        mux.close(handle)
+
+    def test_migrated_data_survives_crash_right_after_commit(self, stack_nocache):
+        """OCC commit fsyncs the destination before punching the source, so
+        a crash immediately after migration cannot lose the only copy."""
+        stack = stack_nocache
+        mux = stack.mux
+        handle = mux.create("/f")
+        mux.write(handle, 0, b"M" * (4 * BS))
+        mux.engine.migrate_now(
+            MigrationOrder(
+                handle.ino, 0, 4, stack.tier_id("pm"), stack.tier_id("ssd")
+            )
+        )
+        crash_recover(mux)
+        handle = mux.open("/f")
+        assert mux.read(handle, 0, 4 * BS) == b"M" * (4 * BS)
+        mux.close(handle)
+
+    def test_fsync_fans_out_to_every_participant(self, stack_nocache):
+        stack = stack_nocache
+        mux = stack.mux
+        handle = mux.create("/f")
+        mux.write(handle, 0, bytes(8 * BS))
+        ssd_id = stack.tier_id("ssd")
+        hdd_id = stack.tier_id("hdd")
+        mux.engine.migrate_now(MigrationOrder(handle.ino, 0, 2, stack.tier_id("pm"), ssd_id))
+        mux.engine.migrate_now(MigrationOrder(handle.ino, 2, 2, stack.tier_id("pm"), hdd_id))
+        ssd_fsyncs = stack.filesystems["ssd"].stats.get("fsync")
+        hdd_fsyncs = stack.filesystems["hdd"].stats.get("fsync")
+        mux.fsync(handle)
+        assert stack.filesystems["ssd"].stats.get("fsync") == ssd_fsyncs + 1
+        assert stack.filesystems["hdd"].stats.get("fsync") == hdd_fsyncs + 1
+        mux.close(handle)
+
+    def test_namespace_survives_crash(self, stack_nocache):
+        stack = stack_nocache
+        mux = stack.mux
+        mux.mkdir("/d")
+        mux.write_file("/d/f", b"x")
+        crash_recover(mux)
+        assert mux.readdir("/d") == ["f"]
+
+    def test_migration_state_cleared_by_crash(self, stack_nocache):
+        stack = stack_nocache
+        mux = stack.mux
+        handle = mux.create("/f")
+        mux.write(handle, 0, bytes(4 * BS))
+        inode = mux.ns.get(handle.ino)
+        inode.migration_active = True  # crash mid-migration
+        inode.dirty_during_migration.add(1)
+        crash_recover(mux)
+        assert not inode.migration_active
+        assert not inode.dirty_during_migration
+
+    def test_operations_work_after_recovery(self, stack_nocache):
+        stack = stack_nocache
+        mux = stack.mux
+        mux.write_file("/f", b"before")
+        handle = mux.open("/f")
+        mux.fsync(handle)
+        mux.close(handle)
+        crash_recover(mux)
+        handle = mux.open("/f")
+        mux.write(handle, 6, b"-after")
+        assert mux.read(handle, 0, 12) == b"before-after"
+        mux.close(handle)

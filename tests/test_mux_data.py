@@ -1,0 +1,179 @@
+"""Mux data path: split I/O, block-granular tier routing, sparse offsets."""
+
+import pytest
+
+from repro.core.policy import MigrationOrder
+from repro.errors import InvalidArgument
+from repro.vfs.interface import OpenFlags
+
+BS = 4096
+
+
+@pytest.fixture
+def mux(stack):
+    return stack.mux
+
+
+class TestBasicIo:
+    def test_roundtrip(self, mux):
+        handle = mux.create("/f")
+        mux.write(handle, 0, b"hello mux")
+        assert mux.read(handle, 0, 9) == b"hello mux"
+        mux.close(handle)
+
+    def test_read_past_eof_clamped(self, mux):
+        handle = mux.create("/f")
+        mux.write(handle, 0, b"abc")
+        assert mux.read(handle, 0, 100) == b"abc"
+        assert mux.read(handle, 5, 10) == b""
+        mux.close(handle)
+
+    def test_sparse_holes_zero(self, mux):
+        handle = mux.create("/f")
+        mux.write(handle, 10 * BS, b"tail")
+        assert mux.read(handle, 0, 8) == bytes(8)
+        assert mux.read(handle, 10 * BS, 4) == b"tail"
+        mux.close(handle)
+
+    def test_append_flag(self, mux):
+        mux.write_file("/f", b"head")
+        handle = mux.open("/f", OpenFlags.RDWR | OpenFlags.APPEND)
+        mux.write(handle, 0, b"+tail")
+        assert mux.read(handle, 0, 9) == b"head+tail"
+        mux.close(handle)
+
+    def test_truncate_shrink_grow(self, mux):
+        handle = mux.create("/f")
+        mux.write(handle, 0, b"x" * 100)
+        mux.truncate(handle, 10)
+        assert mux.getattr("/f").size == 10
+        mux.write(handle, 20, b"y")
+        assert mux.read(handle, 0, 21) == b"x" * 10 + bytes(10) + b"y"
+        mux.close(handle)
+
+    def test_bad_args(self, mux):
+        handle = mux.create("/f")
+        with pytest.raises(InvalidArgument):
+            mux.read(handle, -1, 1)
+        with pytest.raises(InvalidArgument):
+            mux.write(handle, -5, b"x")
+        with pytest.raises(InvalidArgument):
+            mux.truncate(handle, -1)
+        mux.close(handle)
+
+    def test_large_write_roundtrip(self, mux):
+        handle = mux.create("/f")
+        payload = bytes(range(256)) * 64  # 16 KiB
+        mux.write(handle, 123, payload)
+        assert mux.read(handle, 123, len(payload)) == payload
+        mux.close(handle)
+
+
+class TestBltRouting:
+    def test_blt_tracks_written_blocks(self, stack):
+        mux = stack.mux
+        handle = mux.create("/f")
+        mux.write(handle, 0, bytes(4 * BS))
+        inode = mux.ns.get(handle.ino)
+        assert inode.blt.mapped_blocks() == 4
+        assert inode.blt.tiers_used() == [stack.tier_id("pm")]
+        mux.close(handle)
+
+    def test_reads_cross_tier_boundary(self, stack):
+        """A file striped across two tiers must read back merged."""
+        mux = stack.mux
+        handle = mux.create("/f")
+        payload = b"".join(bytes([i]) * BS for i in range(8))
+        mux.write(handle, 0, payload)
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 2, 3, stack.tier_id("pm"), stack.tier_id("hdd"))
+        )
+        inode = mux.ns.get(handle.ino)
+        assert len(inode.blt.tiers_used()) == 2
+        assert mux.read(handle, 0, len(payload)) == payload
+        # a read spanning the tier boundary exactly
+        assert mux.read(handle, BS + 100, 3 * BS) == payload[BS + 100 : 4 * BS + 100]
+        mux.close(handle)
+
+    def test_partial_block_write_stays_on_current_tier(self, stack):
+        """Sub-block writes must not split one block across file systems."""
+        mux = stack.mux
+        handle = mux.create("/f")
+        mux.write(handle, 0, bytes(4 * BS))
+        hdd_id = stack.tier_id("hdd")
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 0, 4, stack.tier_id("pm"), hdd_id)
+        )
+        inode = mux.ns.get(handle.ino)
+        assert inode.blt.lookup(1) == hdd_id
+        # partial overwrite inside block 1: policy would say pm, but the
+        # block lives on hdd and must be updated there
+        mux.write(handle, BS + 10, b"PATCH")
+        assert inode.blt.lookup(1) == hdd_id
+        assert mux.read(handle, BS + 10, 5) == b"PATCH"
+        mux.close(handle)
+
+    def test_full_block_overwrite_can_move_tiers(self, stack):
+        mux = stack.mux
+        handle = mux.create("/f")
+        mux.write(handle, 0, bytes(BS))
+        pm_id = stack.tier_id("pm")
+        hdd_id = stack.tier_id("hdd")
+        mux.engine.migrate_now(MigrationOrder(handle.ino, 0, 1, pm_id, hdd_id))
+        inode = mux.ns.get(handle.ino)
+        assert inode.blt.lookup(0) == hdd_id
+        # full-block overwrite goes wherever the policy says (pm)
+        mux.write(handle, 0, b"N" * BS)
+        assert inode.blt.lookup(0) == pm_id
+        assert mux.read(handle, 0, 4) == b"NNNN"
+        mux.close(handle)
+
+    def test_split_write_counter(self, stack):
+        mux = stack.mux
+        handle = mux.create("/f")
+        mux.write(handle, 0, bytes(4 * BS))
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 1, 1, stack.tier_id("pm"), stack.tier_id("ssd"))
+        )
+        before = mux.stats.get("split_writes")
+        # straddles pm block 0 (partial), ssd block 1 (partial) -> split
+        mux.write(handle, BS - 100, bytes(200))
+        assert mux.stats.get("split_writes") > before
+        mux.close(handle)
+
+
+class TestPlacementFallback:
+    def test_write_spills_when_tier_full(self, stack_nocache):
+        stack = stack_nocache
+        mux = stack.mux
+        pm_free = stack.filesystems["pm"].statfs().free_bytes
+        handle = mux.create("/big")
+        # write more than PM can hold; the LRU policy must spill downhill
+        total = pm_free + 4 * 1024 * 1024
+        chunk = bytes(256 * 1024)
+        written = 0
+        while written < total:
+            mux.write(handle, written, chunk)
+            written += len(chunk)
+        inode = mux.ns.get(handle.ino)
+        assert len(inode.blt.tiers_used()) >= 2
+        # all data still readable
+        assert mux.read(handle, 0, 16) == bytes(16)
+        assert mux.getattr("/big").size == written
+        mux.close(handle)
+
+
+class TestFsyncFanout:
+    def test_fsync_reaches_all_participating_tiers(self, stack):
+        mux = stack.mux
+        handle = mux.create("/f")
+        mux.write(handle, 0, bytes(8 * BS))
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 4, 4, stack.tier_id("pm"), stack.tier_id("ssd"))
+        )
+        mux.write(handle, 4 * BS + 1, b"dirty-on-ssd")
+        ssd_fsyncs = stack.filesystems["ssd"].stats.get("fsync")
+        pm_writes = stack.devices["pm"].stats.write_ops
+        mux.fsync(handle)
+        assert stack.filesystems["ssd"].stats.get("fsync") > ssd_fsyncs
+        mux.close(handle)

@@ -1,0 +1,124 @@
+"""Property test: Mux contents always match a flat reference model, no
+matter how blocks are spread across tiers by writes and random migrations.
+
+This is the §2 correctness contract end-to-end: block-granular routing,
+sparse backing files, the BLT, the SCM cache and OCC migration all compose
+to plain POSIX file semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import MigrationOrder
+from repro.stack import build_stack
+
+MIB = 1024 * 1024
+SPAN = 48 * 1024
+BS = 4096
+
+write_op = st.tuples(
+    st.just("write"),
+    st.integers(0, SPAN - 1),
+    st.integers(1, 8000),
+    st.integers(0, 255),
+)
+read_op = st.tuples(
+    st.just("read"), st.integers(0, SPAN - 1), st.integers(1, 8000), st.just(0)
+)
+truncate_op = st.tuples(st.just("truncate"), st.integers(0, SPAN), st.just(0), st.just(0))
+migrate_op = st.tuples(
+    st.just("migrate"),
+    st.integers(0, SPAN // BS),  # block start
+    st.integers(1, 8),  # block count
+    st.integers(0, 5),  # encodes the (src, dst) pair
+)
+fsync_op = st.tuples(st.just("fsync"), st.just(0), st.just(0), st.just(0))
+
+ops_strategy = st.lists(
+    st.one_of(write_op, read_op, truncate_op, migrate_op, fsync_op), max_size=25
+)
+
+PAIRS = [(0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1)]
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_strategy, cache=st.booleans())
+def test_mux_matches_reference_model(ops, cache):
+    stack = build_stack(
+        capacities={"pm": 8 * MIB, "ssd": 16 * MIB, "hdd": 16 * MIB},
+        enable_cache=cache,
+    )
+    mux = stack.mux
+    tier_by_index = [
+        stack.tier_id("pm"),
+        stack.tier_id("ssd"),
+        stack.tier_id("hdd"),
+    ]
+    model = bytearray()
+    handle = mux.create("/f")
+    for op, a, b, c in ops:
+        if op == "write":
+            data = bytes([c]) * b
+            mux.write(handle, a, data)
+            if len(model) < a + b:
+                model.extend(bytes(a + b - len(model)))
+            model[a : a + b] = data
+        elif op == "read":
+            assert mux.read(handle, a, b) == bytes(model[a : a + b])
+        elif op == "truncate":
+            mux.truncate(handle, a)
+            if a <= len(model):
+                del model[a:]
+            else:
+                model.extend(bytes(a - len(model)))
+        elif op == "migrate":
+            src_index, dst_index = PAIRS[c % len(PAIRS)]
+            mux.engine.migrate_now(
+                MigrationOrder(
+                    handle.ino,
+                    a,
+                    b,
+                    tier_by_index[src_index],
+                    tier_by_index[dst_index],
+                )
+            )
+        else:
+            mux.fsync(handle)
+    assert mux.getattr("/f").size == len(model)
+    assert mux.read(handle, 0, len(model) + 16) == bytes(model)
+    # BLT structural invariants hold after any sequence
+    inode = mux.ns.get(handle.ino)
+    inode.blt.check_invariants()
+    if mux.cache is not None:
+        mux.cache.check_invariants()
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_strategy)
+def test_mux_blocks_owned_by_exactly_one_tier(ops):
+    """Every mapped block has exactly one owning tier (§2.2)."""
+    stack = build_stack(
+        capacities={"pm": 8 * MIB, "ssd": 16 * MIB, "hdd": 16 * MIB},
+        enable_cache=False,
+    )
+    mux = stack.mux
+    tiers = [stack.tier_id(n) for n in ("pm", "ssd", "hdd")]
+    handle = mux.create("/f")
+    for op, a, b, c in ops:
+        if op == "write":
+            mux.write(handle, a, bytes([c]) * b)
+        elif op == "migrate":
+            src, dst = PAIRS[c % len(PAIRS)]
+            mux.engine.migrate_now(
+                MigrationOrder(handle.ino, a, b, tiers[src], tiers[dst])
+            )
+    inode = mux.ns.get(handle.ino)
+    end = inode.blt.end_block()
+    per_tier_sum = sum(inode.blt.blocks_on(t) for t in tiers)
+    assert per_tier_sum == inode.blt.mapped_blocks()
+    for fb in range(end):
+        owner = inode.blt.lookup(fb)
+        assert owner is None or owner in tiers

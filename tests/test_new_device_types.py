@@ -1,0 +1,130 @@
+"""New device types joining the hierarchy (the paper's §1 motivation)."""
+
+import pytest
+
+from repro.core.policy import MigrationOrder
+from repro.devices.cxl import ARCHIVAL, CXL_SSD, ArchivalDevice, CxlSsd
+from repro.fs.ext4 import Ext4FileSystem
+from repro.fs.nova import NovaFileSystem
+from repro.stack import build_stack
+from repro.tools.fsck import check_mux, check_native_fs
+
+MIB = 1024 * 1024
+BS = 4096
+
+
+@pytest.fixture
+def five_tier():
+    stack = build_stack(
+        capacities={"pm": 16 * MIB, "ssd": 32 * MIB, "hdd": 64 * MIB},
+        enable_cache=False,
+    )
+    cxl_dev = CxlSsd("cxl0", 64 * MIB, stack.clock)
+    cxl_fs = NovaFileSystem("nova-cxl", cxl_dev, stack.clock)
+    stack.vfs.mount("/tiers/cxl", cxl_fs)
+    cxl = stack.mux.add_tier("cxl", cxl_fs, "/tiers/cxl", CXL_SSD, rank=1)
+    stack.tier_ids["cxl"] = cxl.tier_id
+
+    cold_dev = ArchivalDevice("glass0", 256 * MIB, stack.clock)
+    cold_fs = Ext4FileSystem("ext4-cold", cold_dev, stack.clock)
+    stack.vfs.mount("/tiers/cold", cold_fs)
+    cold = stack.mux.add_tier("cold", cold_fs, "/tiers/cold", ARCHIVAL, rank=9)
+    stack.tier_ids["cold"] = cold.tier_id
+    return stack
+
+
+class TestCxlDevice:
+    def test_nova_runs_on_cxl_unchanged(self, clock):
+        cxl = CxlSsd("c0", 32 * MIB, clock)
+        nova = NovaFileSystem("nova-cxl", cxl, clock)
+        nova.write_file("/f", b"byte addressable flash")
+        assert nova.read_file("/f") == b"byte addressable flash"
+        assert check_native_fs(nova) == []
+
+    def test_cxl_slower_than_pm_faster_than_archival(self, clock, pm):
+        cxl = CxlSsd("c0", 32 * MIB, clock)
+        t0 = clock.now_ns
+        pm.load(0, 64)
+        pm_cost = clock.now_ns - t0
+        t0 = clock.now_ns
+        cxl.load(0, 64)
+        cxl_cost = clock.now_ns - t0
+        cold = ArchivalDevice("g0", 32 * MIB, clock)
+        t0 = clock.now_ns
+        cold.read_blocks(0)
+        cold_cost = clock.now_ns - t0
+        assert pm_cost < cxl_cost < cold_cost
+
+    def test_flush_semantics_preserved(self, clock):
+        cxl = CxlSsd("c0", 32 * MIB, clock)
+        cxl.store(0, b"dirty")
+        assert cxl.unflushed_lines == 1
+        cxl.flush_range(0, 5)
+        assert cxl.unflushed_lines == 0
+
+
+class TestFiveTierHierarchy:
+    def test_all_tiers_registered(self, five_tier):
+        assert len(five_tier.mux.registry) == 5
+
+    def test_every_pair_migratable(self, five_tier):
+        mux = five_tier.mux
+        ids = mux.tier_ids()
+        assert len(ids) == 5
+        for src in ids:
+            for dst in ids:
+                assert mux.engine.supports(src, dst) == (src != dst)
+
+    def test_data_flows_through_all_five(self, five_tier):
+        stack = five_tier
+        mux = stack.mux
+        handle = mux.create("/f")
+        payload = bytes(range(256)) * 16 * 5  # 20 KiB -> 5 blocks
+        mux.write(handle, 0, payload)
+        order = ["pm", "ssd", "cxl", "hdd", "cold"]
+        for i, name in enumerate(order[1:], start=1):
+            mux.engine.migrate_now(
+                MigrationOrder(
+                    handle.ino,
+                    i,
+                    1,
+                    stack.tier_id("pm"),
+                    stack.tier_id(name),
+                )
+            )
+        inode = mux.ns.get(handle.ino)
+        assert len(inode.blt.tiers_used()) == 5
+        assert mux.read(handle, 0, len(payload)) == payload
+        assert check_mux(mux) == []
+        mux.close(handle)
+
+    def test_archive_tier_charged_realistically(self, five_tier):
+        stack = five_tier
+        mux = stack.mux
+        handle = mux.create("/f")
+        mux.write(handle, 0, bytes(BS))
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 0, 1, stack.tier_id("pm"), stack.tier_id("cold"))
+        )
+        stack.filesystems["hdd"]  # unrelated
+        cold_fs, _ = stack.vfs.resolve("/tiers/cold")
+        cold_fs.page_cache.drop_clean()
+        t0 = stack.clock.now_ns
+        mux.read(handle, 0, 1)
+        assert stack.clock.now_ns - t0 > 100_000_000  # media fetch: >100 ms
+        mux.close(handle)
+
+    def test_fsck_clean_everywhere(self, five_tier):
+        stack = five_tier
+        mux = stack.mux
+        mux.write_file("/a", bytes(8 * BS))
+        mux.engine.migrate_now(
+            MigrationOrder(
+                mux.ns.resolve("/a").ino, 0, 4,
+                stack.tier_id("pm"), stack.tier_id("cxl"),
+            )
+        )
+        assert check_mux(mux) == []
+        for mount in ("/tiers/pm", "/tiers/cxl", "/tiers/cold"):
+            fs, _ = stack.vfs.resolve(mount)
+            assert check_native_fs(fs) == []

@@ -1,0 +1,96 @@
+"""NOVA-specific behaviour: DAX, copy-on-write, flush-based persistence."""
+
+import pytest
+
+from repro.devices.pm import PersistentMemoryDevice
+from repro.fs.nova import NovaFileSystem
+from repro.sim.clock import SimClock
+
+BS = 4096
+
+
+class TestConstruction:
+    def test_requires_pm_device(self, ssd, clock):
+        with pytest.raises(TypeError):
+            NovaFileSystem("bad", ssd, clock)
+
+    def test_reserves_log_space(self, nova, pm):
+        assert nova._total_data_blocks() < pm.num_blocks
+
+
+class TestCopyOnWrite:
+    def test_overwrite_moves_block(self, nova):
+        handle = nova.create("/f")
+        nova.write(handle, 0, b"v1" + bytes(BS - 2))
+        inode = nova.inodes.get(handle.ino)
+        first_home = inode.blockmap.lookup(0)
+        nova.write(handle, 0, b"v2" + bytes(BS - 2))
+        second_home = inode.blockmap.lookup(0)
+        assert first_home != second_home  # log-structured: never in place
+        assert nova.read(handle, 0, 2) == b"v2"
+        nova.close(handle)
+
+    def test_old_block_freed(self, nova):
+        handle = nova.create("/f")
+        nova.write(handle, 0, bytes(BS))
+        free_after_first = nova.allocator.free_blocks
+        for _ in range(8):
+            nova.write(handle, 0, bytes(BS))
+        assert nova.allocator.free_blocks == free_after_first
+        nova.close(handle)
+
+    def test_cow_counted(self, nova):
+        handle = nova.create("/f")
+        nova.write(handle, 0, bytes(4 * BS))
+        assert nova.stats.get("cow_blocks") == 4
+        nova.close(handle)
+
+
+class TestPersistence:
+    def test_no_unflushed_lines_after_write(self, nova, pm):
+        handle = nova.create("/f")
+        nova.write(handle, 0, b"data" * 100)
+        assert pm.unflushed_lines == 0  # everything flushed at write return
+        nova.close(handle)
+
+    def test_write_charges_flushes(self, nova, pm):
+        handle = nova.create("/f")
+        flushes_before = pm.stats.flush_ops
+        nova.write(handle, 0, bytes(BS))
+        assert pm.stats.flush_ops > flushes_before
+        nova.close(handle)
+
+    def test_crash_loses_nothing(self, nova):
+        handle = nova.create("/f")
+        nova.write(handle, 0, b"no fsync needed")
+        nova.crash()
+        nova.recover()
+        assert nova.read_file("/f") == b"no fsync needed"
+
+    def test_crash_preserves_namespace(self, nova):
+        nova.mkdir("/d")
+        nova.write_file("/d/f", b"x")
+        nova.crash()
+        nova.recover()
+        assert nova.readdir("/d") == ["f"]
+
+    def test_log_entries_counted(self, nova):
+        nova.write_file("/f", b"x")
+        assert nova.stats.get("log_entries") >= 2  # create + write
+
+
+class TestDax:
+    def test_read_loads_from_pm(self, nova, pm):
+        nova.write_file("/f", b"z" * BS)
+        reads_before = pm.stats.read_ops
+        nova.read_file("/f")
+        assert pm.stats.read_ops > reads_before
+
+    def test_fsync_cheap(self, nova, clock):
+        handle = nova.create("/f")
+        nova.write(handle, 0, bytes(BS))
+        t0 = clock.now_ns
+        nova.fsync(handle)
+        # a fence, not a writeback storm
+        assert clock.now_ns - t0 < 10_000
+        nova.close(handle)

@@ -1,0 +1,183 @@
+"""QoS (§4): per-class bandwidth quotas, class/file placement pinning."""
+
+import pytest
+
+from repro.core.qos import DEFAULT_CLASS, IoClass, QosManager
+from repro.errors import InvalidArgument
+from repro.vfs.interface import OpenFlags
+
+MIB = 1024 * 1024
+BS = 4096
+
+
+class TestQosManagerUnit:
+    def test_default_class_unlimited(self, stack_nocache, clock):
+        qos = QosManager(stack_nocache.clock)
+        handle = stack_nocache.mux.create("/f")
+        assert qos.class_of(handle) == DEFAULT_CLASS
+        assert qos.charge(handle, 100 * MIB) == 0
+
+    def test_register_and_tag(self, stack_nocache):
+        qos = QosManager(stack_nocache.clock)
+        qos.register(IoClass("batch", quota_bytes_per_sec=1e6))
+        handle = stack_nocache.mux.create("/f")
+        qos.tag(handle, "batch")
+        assert qos.class_of(handle) == "batch"
+
+    def test_unknown_class_rejected(self, stack_nocache):
+        qos = QosManager(stack_nocache.clock)
+        handle = stack_nocache.mux.create("/f")
+        with pytest.raises(InvalidArgument):
+            qos.tag(handle, "ghost")
+
+    def test_duplicate_class_rejected(self, stack_nocache):
+        qos = QosManager(stack_nocache.clock)
+        qos.register(IoClass("x"))
+        with pytest.raises(InvalidArgument):
+            qos.register(IoClass("x"))
+
+    def test_bad_quota_rejected(self):
+        with pytest.raises(InvalidArgument):
+            IoClass("bad", quota_bytes_per_sec=0)
+
+    def test_burst_allows_initial_spike(self, stack_nocache):
+        qos = QosManager(stack_nocache.clock)
+        qos.register(IoClass("b", quota_bytes_per_sec=1e6, burst_bytes=4 * MIB))
+        handle = stack_nocache.mux.create("/f")
+        qos.tag(handle, "b")
+        assert qos.charge(handle, 2 * MIB) == 0  # within burst
+        assert qos.charge(handle, 4 * MIB) > 0  # over budget -> throttled
+
+    def test_tokens_refill_with_simulated_time(self, stack_nocache):
+        clock = stack_nocache.clock
+        qos = QosManager(clock)
+        qos.register(IoClass("b", quota_bytes_per_sec=1e6, burst_bytes=1 * MIB))
+        handle = stack_nocache.mux.create("/f")
+        qos.tag(handle, "b")
+        qos.charge(handle, 1 * MIB)  # drains the bucket
+        clock.charge(2.0)  # 2 simulated seconds pass
+        assert qos.charge(handle, 1 * MIB) == 0  # refilled
+
+
+class TestQosThroughMux:
+    def test_throttled_class_slower(self, stack_nocache):
+        stack = stack_nocache
+        mux = stack.mux
+        clock = stack.clock
+        qos = mux.enable_qos()
+        # 50 MB/s sustained with a 1 MiB burst allowance
+        qos.register(
+            IoClass("batch", quota_bytes_per_sec=50e6, burst_bytes=MIB)
+        )
+
+        fast = mux.create("/interactive")
+        slow = mux.create("/batch")
+        qos.tag(slow, "batch")
+
+        t0 = clock.now_ns
+        for i in range(8):
+            mux.write(fast, i * MIB, bytes(MIB))
+        unthrottled = clock.now_ns - t0
+        t0 = clock.now_ns
+        for i in range(8):
+            mux.write(slow, i * MIB, bytes(MIB))
+        throttled = clock.now_ns - t0
+        # 8 MiB at 50 MB/s ~ 160 ms; untrottled PM writes are ~ms
+        assert throttled > unthrottled * 10
+        assert qos.stats.get("throttled_ops.batch") > 0
+        mux.close(fast)
+        mux.close(slow)
+
+    def test_reads_also_throttled(self, stack_nocache):
+        stack = stack_nocache
+        mux = stack.mux
+        qos = mux.enable_qos()
+        qos.register(IoClass("batch", quota_bytes_per_sec=10e6, burst_bytes=MIB))
+        handle = mux.create("/f")
+        mux.write(handle, 0, bytes(4 * MIB))
+        qos.tag(handle, "batch")
+        t0 = stack.clock.now_ns
+        mux.read(handle, 0, 4 * MIB)
+        elapsed_s = (stack.clock.now_ns - t0) / 1e9
+        assert elapsed_s > 0.2  # ~3 MiB over budget at 10 MB/s
+        mux.close(handle)
+
+    def test_class_placement_pin(self, stack_nocache):
+        stack = stack_nocache
+        mux = stack.mux
+        qos = mux.enable_qos()
+        hdd_id = stack.tier_id("hdd")
+        qos.register(IoClass("scrubber", pinned_tier=hdd_id))
+        handle = mux.create("/scrub.tmp")
+        qos.tag(handle, "scrubber")
+        mux.write(handle, 0, bytes(8 * BS))
+        inode = mux.ns.get(handle.ino)
+        assert inode.blt.tiers_used() == [hdd_id]  # policy bypassed
+        mux.close(handle)
+
+
+class TestFilePinning:
+    def test_set_placement_routes_writes(self, stack_nocache):
+        stack = stack_nocache
+        mux = stack.mux
+        ssd_id = stack.tier_id("ssd")
+        mux.write_file("/f", b"first")  # lands on pm (policy)
+        mux.set_placement("/f", ssd_id)
+        handle = mux.open("/f", OpenFlags.RDWR)
+        mux.write(handle, 4096, bytes(4 * BS))
+        inode = mux.ns.get(handle.ino)
+        assert inode.blt.lookup(1) == ssd_id
+        mux.close(handle)
+
+    def test_clear_pin(self, stack_nocache):
+        stack = stack_nocache
+        mux = stack.mux
+        mux.write_file("/f", b"x")
+        mux.set_placement("/f", stack.tier_id("hdd"))
+        mux.set_placement("/f", None)
+        handle = mux.open("/f", OpenFlags.RDWR)
+        mux.write(handle, 4096, bytes(BS))
+        assert mux.ns.get(handle.ino).blt.lookup(1) == stack.tier_id("pm")
+        mux.close(handle)
+
+    def test_bad_tier_rejected(self, stack_nocache):
+        from repro.errors import ReproError
+
+        stack = stack_nocache
+        stack.mux.write_file("/f", b"x")
+        with pytest.raises(ReproError):
+            stack.mux.set_placement("/f", 99)
+
+    def test_pin_falls_back_when_tier_full(self, stack_nocache):
+        stack = stack_nocache
+        mux = stack.mux
+        pm_free = stack.filesystems["pm"].statfs().free_bytes
+        mux.write_file("/f", b"x")
+        mux.set_placement("/f", stack.tier_id("pm"))
+        handle = mux.open("/f", OpenFlags.RDWR)
+        # more than PM can hold: the pin yields to capacity reality
+        total = pm_free + 2 * MIB
+        offset = 0
+        while offset < total:
+            mux.write(handle, offset, bytes(MIB))
+            offset += MIB
+        inode = mux.ns.get(handle.ino)
+        assert len(inode.blt.tiers_used()) >= 2
+        mux.close(handle)
+
+
+class TestReport:
+    def test_report_contains_sections(self, stack):
+        mux = stack.mux
+        mux.write_file("/f", b"hello")
+        text = mux.report()
+        assert "tiers:" in text
+        assert "pm" in text
+        assert "migrations:" in text
+        assert "ops:" in text
+
+    def test_report_shows_qos(self, stack_nocache):
+        mux = stack_nocache.mux
+        qos = mux.enable_qos()
+        qos.register(IoClass("batch", quota_bytes_per_sec=5e6))
+        assert "qos[batch]" in mux.report()

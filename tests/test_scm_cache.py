@@ -1,0 +1,197 @@
+"""SCM cache manager (§2.5): DAX cache file, MGLRU replacement, coherence."""
+
+import pytest
+
+from repro.core.cache import CACHE_FILE, ScmCacheManager
+from repro.core.policy import MigrationOrder
+from repro.errors import ReproError
+
+BS = 4096
+
+
+@pytest.fixture
+def cache(nova, clock):
+    return ScmCacheManager(clock, nova, capacity_blocks=8, block_size=BS)
+
+
+class TestCacheFile:
+    def test_cache_file_created_and_preallocated(self, nova, clock):
+        ScmCacheManager(clock, nova, capacity_blocks=16, block_size=BS)
+        st = nova.getattr(CACHE_FILE)
+        assert st.size == 16 * BS
+        assert st.blocks == 16 * (BS // 512)  # fully materialized, no holes
+
+    def test_requires_dax_fs(self, xfs, clock):
+        with pytest.raises(ReproError):
+            ScmCacheManager(clock, xfs, capacity_blocks=4, block_size=BS)
+
+    def test_recreated_on_rebuild(self, nova, clock):
+        ScmCacheManager(clock, nova, capacity_blocks=4, block_size=BS)
+        ScmCacheManager(clock, nova, capacity_blocks=4, block_size=BS)
+        assert nova.getattr(CACHE_FILE).size == 4 * BS
+
+
+class TestGetPut:
+    def test_miss_then_hit(self, cache):
+        assert cache.get(1, 0) is None
+        cache.put(1, 0, b"a" * BS)
+        assert cache.get(1, 0) == b"a" * BS
+        assert cache.stats.get("hit") == 1
+        assert cache.stats.get("miss") == 1
+
+    def test_update_in_place(self, cache):
+        cache.put(1, 0, b"a" * BS)
+        cache.put(1, 0, b"b" * BS)
+        assert cache.get(1, 0) == b"b" * BS
+        assert cache.cached_blocks == 1
+
+    def test_whole_blocks_only(self, cache):
+        with pytest.raises(ValueError):
+            cache.put(1, 0, b"small")
+
+    def test_distinct_keys(self, cache):
+        cache.put(1, 0, b"a" * BS)
+        cache.put(2, 0, b"b" * BS)
+        cache.put(1, 1, b"c" * BS)
+        assert cache.get(1, 0) == b"a" * BS
+        assert cache.get(2, 0) == b"b" * BS
+        assert cache.get(1, 1) == b"c" * BS
+
+    def test_data_stored_on_pm_device(self, cache, pm):
+        writes_before = pm.stats.bytes_written
+        cache.put(1, 0, b"z" * BS)
+        assert pm.stats.bytes_written >= writes_before + BS
+
+    def test_hit_charges_pm_load(self, cache, pm, clock):
+        cache.put(1, 0, b"z" * BS)
+        reads_before = pm.stats.read_ops
+        cache.get(1, 0)
+        assert pm.stats.read_ops > reads_before
+
+
+class TestEviction:
+    def test_capacity_respected(self, cache):
+        for fb in range(20):
+            cache.put(1, fb, bytes([fb]) * BS)
+        assert cache.cached_blocks == 8
+        cache.check_invariants()
+
+    def test_slots_recycled(self, cache):
+        for fb in range(30):
+            cache.put(1, fb, bytes([fb % 251]) * BS)
+        cache.check_invariants()
+        assert cache.stats.get("evict") == 22
+
+    def test_recently_used_survives(self, cache):
+        for fb in range(8):
+            cache.put(1, fb, bytes([fb]) * BS)
+        cache.get(1, 0)  # freshen
+        for fb in range(8, 12):
+            cache.put(1, fb, bytes([fb]) * BS)
+        assert cache.get(1, 0) is not None
+
+
+class TestInvalidation:
+    def test_invalidate_block(self, cache):
+        cache.put(1, 0, b"a" * BS)
+        assert cache.invalidate(1, 0) is True
+        assert cache.get(1, 0) is None
+        assert cache.invalidate(1, 0) is False
+
+    def test_invalidate_file(self, cache):
+        for fb in range(4):
+            cache.put(1, fb, bytes(BS))
+        cache.put(2, 0, bytes(BS))
+        assert cache.invalidate_file(1) == 4
+        assert cache.cached_blocks == 1
+        cache.check_invariants()
+
+
+class TestCacheThroughMux:
+    def test_slow_tier_reads_populate_cache(self, stack):
+        mux = stack.mux
+        handle = mux.create("/f")
+        mux.write(handle, 0, bytes(8 * BS))
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 0, 8, stack.tier_id("pm"), stack.tier_id("hdd"))
+        )
+        assert mux.cache is not None
+        mux.read(handle, 0, 8 * BS)
+        assert mux.cache.cached_blocks == 8
+        mux.close(handle)
+
+    def test_cached_reads_skip_slow_device(self, stack):
+        mux = stack.mux
+        handle = mux.create("/f")
+        mux.write(handle, 0, bytes(8 * BS))
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 0, 8, stack.tier_id("pm"), stack.tier_id("hdd"))
+        )
+        mux.read(handle, 0, 8 * BS)  # populate
+        hdd_reads = stack.devices["hdd"].stats.read_ops
+        mux.read(handle, 0, 8 * BS)  # hit
+        assert stack.devices["hdd"].stats.read_ops == hdd_reads
+        mux.close(handle)
+
+    def test_cached_read_faster_than_hdd_read(self, stack):
+        mux = stack.mux
+        clock = stack.clock
+        handle = mux.create("/f")
+        mux.write(handle, 0, bytes(BS))
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 0, 1, stack.tier_id("pm"), stack.tier_id("hdd"))
+        )
+        t0 = clock.now_ns
+        mux.read(handle, 0, BS)
+        cold = clock.now_ns - t0
+        t0 = clock.now_ns
+        mux.read(handle, 0, BS)
+        warm = clock.now_ns - t0
+        # the "cold" read may itself hit ext4's DRAM page cache (migration
+        # just wrote those pages), so only a modest factor is guaranteed
+        assert warm < cold / 2
+        mux.close(handle)
+
+    def test_pm_tier_reads_not_cached(self, stack):
+        """Caching PM-resident data in a PM cache is pointless (§2.5)."""
+        mux = stack.mux
+        handle = mux.create("/f")
+        mux.write(handle, 0, bytes(4 * BS))  # lands on pm
+        mux.read(handle, 0, 4 * BS)
+        assert mux.cache.cached_blocks == 0
+        mux.close(handle)
+
+    def test_write_invalidates_cache(self, stack):
+        mux = stack.mux
+        handle = mux.create("/f")
+        mux.write(handle, 0, bytes(2 * BS))
+        hdd_id = stack.tier_id("hdd")
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 0, 2, stack.tier_id("pm"), hdd_id)
+        )
+        mux.read(handle, 0, 2 * BS)  # cache both blocks
+        # partial write updates block 0 on hdd; the cache copy must die
+        mux.write(handle, 10, b"FRESH")
+        data = mux.read(handle, 0, 16)
+        assert data[10:15] == b"FRESH"
+        mux.close(handle)
+
+    def test_single_tier_stack_has_no_cache(self):
+        from repro.stack import build_stack
+
+        stack = build_stack(tiers=["hdd"])
+        assert stack.mux.cache is None
+
+    def test_migration_invalidates_cache(self, stack):
+        mux = stack.mux
+        handle = mux.create("/f")
+        mux.write(handle, 0, bytes(2 * BS))
+        hdd_id = stack.tier_id("hdd")
+        ssd_id = stack.tier_id("ssd")
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 0, 2, stack.tier_id("pm"), hdd_id)
+        )
+        mux.read(handle, 0, 2 * BS)  # cached from hdd
+        mux.engine.migrate_now(MigrationOrder(handle.ino, 0, 2, hdd_id, ssd_id))
+        assert mux.cache.cached_blocks == 0
+        mux.close(handle)

@@ -1,0 +1,94 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import NSEC_PER_SEC, SimClock, microseconds, milliseconds, seconds
+
+
+class TestConversions:
+    def test_seconds(self):
+        assert seconds(1.0) == NSEC_PER_SEC
+
+    def test_seconds_rounds(self):
+        assert seconds(1.5e-9) == 2
+
+    def test_microseconds(self):
+        assert microseconds(3.0) == 3_000
+
+    def test_milliseconds(self):
+        assert milliseconds(2.0) == 2_000_000
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ns == 0
+
+    def test_custom_start(self):
+        assert SimClock(start_ns=500).now_ns == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start_ns=-1)
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance_ns(100)
+        clock.advance_ns(23)
+        assert clock.now_ns == 123
+
+    def test_advance_returns_new_time(self):
+        clock = SimClock()
+        assert clock.advance_ns(7) == 7
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance_ns(-1)
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance_ns(0)
+        assert clock.now_ns == 0
+
+    def test_charge_seconds(self):
+        clock = SimClock()
+        clock.charge(0.5)
+        assert clock.now_ns == NSEC_PER_SEC // 2
+
+    def test_charge_us(self):
+        clock = SimClock()
+        clock.charge_us(2.5)
+        assert clock.now_ns == 2500
+
+    def test_now_seconds(self):
+        clock = SimClock()
+        clock.advance_ns(NSEC_PER_SEC)
+        assert clock.now() == pytest.approx(1.0)
+
+    def test_integer_precision_no_drift(self):
+        clock = SimClock()
+        for _ in range(1_000):
+            clock.advance_ns(3)
+        assert clock.now_ns == 3_000
+
+
+class TestStopwatch:
+    def test_elapsed(self):
+        clock = SimClock()
+        watch = clock.stopwatch()
+        clock.advance_ns(42)
+        assert watch.elapsed_ns == 42
+
+    def test_elapsed_seconds(self):
+        clock = SimClock()
+        watch = clock.stopwatch()
+        clock.charge(2.0)
+        assert watch.elapsed == pytest.approx(2.0)
+
+    def test_restart(self):
+        clock = SimClock()
+        watch = clock.stopwatch()
+        clock.advance_ns(10)
+        watch.restart()
+        clock.advance_ns(5)
+        assert watch.elapsed_ns == 5

@@ -1,0 +1,67 @@
+"""Unit tests for the deterministic RNG."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(42).fork("workload")
+        b = DeterministicRng(42).fork("workload")
+        assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+    def test_fork_labels_independent(self):
+        base = DeterministicRng(42)
+        a = base.fork("x")
+        b = base.fork("y")
+        assert [a.randint(0, 10**9) for _ in range(4)] != [
+            b.randint(0, 10**9) for _ in range(4)
+        ]
+
+
+class TestHelpers:
+    def test_sample_offsets_range(self):
+        rng = DeterministicRng(7)
+        offsets = rng.sample_offsets(1000, 100, align=8)
+        assert len(offsets) == 100
+        assert all(0 <= off < 1000 for off in offsets)
+        assert all(off % 8 == 0 for off in offsets)
+
+    def test_sample_offsets_bad_span(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).sample_offsets(0, 1)
+
+    def test_sample_offsets_bad_align(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).sample_offsets(10, 1, align=0)
+
+    def test_bytes(self):
+        rng = DeterministicRng(3)
+        data = rng.bytes(64)
+        assert len(data) == 64
+        assert data == DeterministicRng(3).bytes(64)
+
+    def test_choice_and_shuffle(self):
+        rng = DeterministicRng(5)
+        items = list(range(10))
+        assert rng.choice(items) in items
+        rng.shuffle(items)
+        assert sorted(items) == list(range(10))
+
+    def test_seed_property(self):
+        assert DeterministicRng(9).seed == 9

@@ -1,0 +1,89 @@
+"""Unit tests for counters and device stats."""
+
+import pytest
+
+from repro.sim.stats import CounterSet, DeviceStats
+
+
+class TestCounterSet:
+    def test_starts_empty(self):
+        counters = CounterSet()
+        assert len(counters) == 0
+        assert counters.get("anything") == 0
+
+    def test_add(self):
+        counters = CounterSet()
+        counters.add("ops")
+        counters.add("ops", 4)
+        assert counters.get("ops") == 5
+
+    def test_negative_rejected(self):
+        counters = CounterSet()
+        with pytest.raises(ValueError):
+            counters.add("ops", -1)
+
+    def test_snapshot_is_copy(self):
+        counters = CounterSet()
+        counters.add("a", 2)
+        snap = counters.snapshot()
+        counters.add("a")
+        assert snap == {"a": 2}
+
+    def test_reset(self):
+        counters = CounterSet()
+        counters.add("a")
+        counters.reset()
+        assert counters.get("a") == 0
+
+    def test_iteration_sorted(self):
+        counters = CounterSet()
+        counters.add("b")
+        counters.add("a")
+        assert [k for k, _ in counters] == ["a", "b"]
+
+
+class TestDeviceStats:
+    def test_record_read(self):
+        stats = DeviceStats()
+        stats.record_read(4096, 1000)
+        assert stats.read_ops == 1
+        assert stats.bytes_read == 4096
+        assert stats.busy_ns == 1000
+
+    def test_record_write(self):
+        stats = DeviceStats()
+        stats.record_write(8192, 2000)
+        assert stats.write_ops == 1
+        assert stats.bytes_written == 8192
+
+    def test_record_flush(self):
+        stats = DeviceStats()
+        stats.record_flush(500)
+        assert stats.flush_ops == 1
+        assert stats.busy_ns == 500
+
+    def test_total_ops(self):
+        stats = DeviceStats()
+        stats.record_read(1, 1)
+        stats.record_write(1, 1)
+        stats.record_flush(1)
+        assert stats.total_ops == 3
+
+    def test_seeks(self):
+        stats = DeviceStats()
+        stats.record_seek()
+        stats.record_seek()
+        assert stats.seeks == 2
+
+    def test_reset(self):
+        stats = DeviceStats()
+        stats.record_read(1, 1)
+        stats.reset()
+        assert stats.total_ops == 0
+
+    def test_snapshot(self):
+        stats = DeviceStats()
+        stats.record_write(10, 7)
+        snap = stats.snapshot()
+        assert snap["write_ops"] == 1
+        assert snap["bytes_written"] == 10

@@ -1,0 +1,101 @@
+"""Unit tests for the cooperative task runner."""
+
+import pytest
+
+from repro.sim.tasks import Task, TaskRunner, run_interleaved
+
+
+def counting(n, log, tag):
+    for i in range(n):
+        log.append((tag, i))
+        yield
+    return f"{tag}-done"
+
+
+class TestTask:
+    def test_join_returns_result(self):
+        task = Task(counting(3, [], "a"))
+        assert task.join() == "a-done"
+        assert task.done
+
+    def test_step_by_step(self):
+        log = []
+        task = Task(counting(2, log, "a"))
+        assert task.step() is True
+        assert task.step() is True
+        assert task.step() is False
+        assert log == [("a", 0), ("a", 1)]
+
+    def test_step_after_done(self):
+        task = Task(counting(0, [], "a"))
+        task.join()
+        assert task.step() is False
+
+    def test_error_captured_and_reraised(self):
+        def boom():
+            yield
+            raise RuntimeError("nope")
+
+        task = Task(boom())
+        task.step()
+        assert task.step() is False
+        assert isinstance(task.error, RuntimeError)
+        with pytest.raises(RuntimeError):
+            task.join()
+
+
+class TestTaskRunner:
+    def test_round_robin_interleaving(self):
+        log = []
+        runner = TaskRunner()
+        runner.spawn(counting(2, log, "a"))
+        runner.spawn(counting(2, log, "b"))
+        runner.drain()
+        assert log == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+
+    def test_pending_count(self):
+        runner = TaskRunner()
+        runner.spawn(counting(3, [], "a"))
+        assert runner.pending == 1
+        runner.drain()
+        assert runner.pending == 0
+
+    def test_drain_raises_task_error(self):
+        def boom():
+            yield
+            raise ValueError("x")
+
+        runner = TaskRunner()
+        runner.spawn(boom())
+        with pytest.raises(ValueError):
+            runner.drain()
+
+    def test_finished_tasks_reaped(self):
+        runner = TaskRunner()
+        runner.spawn(counting(1, [], "a"))
+        runner.drain()
+        assert list(runner) == []
+
+
+class TestRunInterleaved:
+    def test_callback_between_steps(self):
+        log = []
+        task = Task(counting(3, log, "a"))
+        result = run_interleaved(task, lambda i: log.append(("cb", i)))
+        assert result == "a-done"
+        assert log == [
+            ("a", 0),
+            ("cb", 0),
+            ("a", 1),
+            ("cb", 1),
+            ("a", 2),
+            ("cb", 2),
+        ]
+
+    def test_error_propagates(self):
+        def boom():
+            yield
+            raise KeyError("k")
+
+        with pytest.raises(KeyError):
+            run_interleaved(Task(boom()), lambda i: None)

@@ -1,0 +1,122 @@
+"""Remaining unit coverage: Stat/FsStats structures and the inode table."""
+
+import pytest
+
+from repro.errors import FsError, InvalidArgument
+from repro.fscommon.inode import Inode, InodeTable
+from repro.vfs.stat import (
+    AGGREGATED_ATTRS,
+    SINGLE_OWNER_ATTRS,
+    FileType,
+    FsStats,
+    Stat,
+)
+
+
+class TestStat:
+    def test_is_dir(self):
+        assert Stat(1, FileType.DIRECTORY).is_dir
+        assert not Stat(1, FileType.REGULAR).is_dir
+
+    def test_copy_independent(self):
+        stat = Stat(1, FileType.REGULAR, extra={"k": 1})
+        dup = stat.copy()
+        dup.extra["k"] = 2
+        dup.size = 99
+        assert stat.extra["k"] == 1
+        assert stat.size == 0
+
+    def test_attr_partitions(self):
+        assert "size" in SINGLE_OWNER_ATTRS
+        assert "blocks" in AGGREGATED_ATTRS
+        assert not set(SINGLE_OWNER_ATTRS) & set(AGGREGATED_ATTRS)
+
+
+class TestFsStats:
+    def test_derived_quantities(self):
+        stats = FsStats(block_size=4096, total_blocks=100, free_blocks=25)
+        assert stats.used_blocks == 75
+        assert stats.total_bytes == 409600
+        assert stats.free_bytes == 25 * 4096
+        assert stats.used_bytes == 75 * 4096
+        assert stats.utilization == 0.75
+
+    def test_empty_fs(self):
+        stats = FsStats(4096, 0, 0)
+        assert stats.utilization == 0.0
+
+
+class TestInode:
+    def test_regular_defaults(self):
+        inode = Inode(5, FileType.REGULAR, now=3.0, mode=0o640)
+        assert inode.nlink == 1
+        assert inode.size == 0
+        assert inode.atime == inode.mtime == inode.ctime == 3.0
+        assert not inode.is_dir
+
+    def test_directory_defaults(self):
+        inode = Inode(5, FileType.DIRECTORY, now=0.0, mode=0o755)
+        assert inode.nlink == 2
+        assert inode.is_dir
+
+    def test_stat_blocks_in_512_units(self):
+        inode = Inode(5, FileType.REGULAR, now=0.0, mode=0o644)
+        inode.allocated_blocks = 3
+        assert inode.stat(4096).blocks == 3 * 8
+
+    def test_apply_attrs(self):
+        inode = Inode(5, FileType.REGULAR, now=0.0, mode=0o644)
+        inode.apply_attrs({"mtime": 7.5, "mode": 0o600})
+        assert inode.mtime == 7.5
+        assert inode.mode == 0o600
+
+    def test_apply_attrs_validation(self):
+        inode = Inode(5, FileType.REGULAR, now=0.0, mode=0o644)
+        with pytest.raises(InvalidArgument):
+            inode.apply_attrs({"mtime": "not a number"})
+        with pytest.raises(InvalidArgument):
+            inode.apply_attrs({"mode": 1.5})
+        with pytest.raises(InvalidArgument):
+            inode.apply_attrs({"bogus": 1})
+
+
+class TestInodeTable:
+    def test_alloc_sequential_inos(self):
+        table = InodeTable()
+        a = table.alloc(FileType.DIRECTORY, 0.0, 0o755)
+        b = table.alloc(FileType.REGULAR, 0.0, 0o644)
+        assert a.ino == InodeTable.ROOT_INO
+        assert b.ino == a.ino + 1
+
+    def test_get_and_maybe_get(self):
+        table = InodeTable()
+        inode = table.alloc(FileType.REGULAR, 0.0, 0o644)
+        assert table.get(inode.ino) is inode
+        assert table.maybe_get(inode.ino) is inode
+        assert table.maybe_get(999) is None
+        with pytest.raises(FsError):
+            table.get(999)
+
+    def test_free(self):
+        table = InodeTable()
+        inode = table.alloc(FileType.REGULAR, 0.0, 0o644)
+        assert table.free(inode.ino) is inode
+        with pytest.raises(FsError):
+            table.free(inode.ino)
+
+    def test_restore_for_recovery(self):
+        table = InodeTable()
+        restored = table.restore(7, FileType.REGULAR, 1.0, 0o644)
+        assert restored.ino == 7
+        # subsequent allocations never collide with restored numbers
+        fresh = table.alloc(FileType.REGULAR, 0.0, 0o644)
+        assert fresh.ino == 8
+        with pytest.raises(FsError):
+            table.restore(7, FileType.REGULAR, 1.0, 0o644)
+
+    def test_iteration_and_len(self):
+        table = InodeTable()
+        table.alloc(FileType.REGULAR, 0.0, 0o644)
+        table.alloc(FileType.REGULAR, 0.0, 0o644)
+        assert len(table) == 2
+        assert len(list(table)) == 2

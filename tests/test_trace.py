@@ -1,0 +1,128 @@
+"""Trace recording and replay."""
+
+import pytest
+
+from repro.bench.macro import varmail
+from repro.bench.trace import Trace, TraceRecorder, replay
+from repro.stack import build_stack
+from repro.vfs.interface import OpenFlags
+
+MIB = 1024 * 1024
+
+
+@pytest.fixture
+def recorded(stack_nocache):
+    """A small recorded session plus the stack it ran on."""
+    recorder = TraceRecorder(stack_nocache.mux)
+    recorder.mkdir("/app")
+    handle = recorder.create("/app/data")
+    recorder.write(handle, 0, b"x" * 10_000)
+    recorder.read(handle, 100, 500)
+    recorder.fsync(handle)
+    recorder.truncate(handle, 5_000)
+    recorder.close(handle)
+    recorder.rename("/app/data", "/app/data2")
+    recorder.getattr("/app/data2")
+    recorder.unlink("/app/data2")
+    recorder.rmdir("/app")
+    return recorder.trace, stack_nocache
+
+
+class TestRecorder:
+    def test_transparent(self, stack_nocache):
+        recorder = TraceRecorder(stack_nocache.mux)
+        handle = recorder.create("/f")
+        recorder.write(handle, 0, b"through the proxy")
+        assert recorder.read(handle, 0, 17) == b"through the proxy"
+        recorder.close(handle)
+        assert stack_nocache.mux.read_file("/f") == b"through the proxy"
+
+    def test_records_every_op(self, recorded):
+        trace, _ = recorded
+        mix = trace.op_mix()
+        for op in ("mkdir", "create", "write", "read", "fsync", "truncate",
+                   "close", "rename_from", "rename_to", "getattr", "unlink",
+                   "rmdir"):
+            assert mix.get(op, 0) >= 1, op
+
+    def test_byte_accounting(self, recorded):
+        trace, _ = recorded
+        assert trace.bytes_written == 10_000
+        assert trace.bytes_read == 500
+
+    def test_len(self, recorded):
+        trace, _ = recorded
+        assert len(trace) == len(trace.entries)
+
+
+class TestReplay:
+    def test_replays_on_fresh_stack(self, recorded):
+        trace, _ = recorded
+        fresh = build_stack(
+            capacities={"pm": 16 * MIB, "ssd": 32 * MIB, "hdd": 64 * MIB},
+            enable_cache=False,
+        )
+        result = replay(trace, fresh.mux, fresh.clock)
+        assert result.operations == len(trace)
+        assert result.elapsed_s > 0
+        # the final namespace state matches the recorded session's end state
+        assert not fresh.mux.exists("/app")
+
+    def test_replay_on_native_fs(self, recorded, ext4, clock):
+        trace, _ = recorded
+        result = replay(trace, ext4, clock)
+        assert result.operations == len(trace)
+
+    def test_replay_deterministic(self, recorded):
+        trace, _ = recorded
+
+        def run():
+            fresh = build_stack(
+                capacities={"pm": 16 * MIB, "ssd": 32 * MIB, "hdd": 64 * MIB},
+                enable_cache=False,
+            )
+            return replay(trace, fresh.mux, fresh.clock).elapsed_s
+
+        assert run() == run()
+
+    def test_macro_workload_roundtrip(self):
+        """Record a macro workload, replay it elsewhere, compare costs."""
+        source = build_stack(
+            capacities={"pm": 16 * MIB, "ssd": 32 * MIB, "hdd": 64 * MIB}
+        )
+        recorder = TraceRecorder(source.mux)
+        varmail(recorder, source.clock, operations=60)
+        trace = recorder.trace
+        assert len(trace) > 60
+
+        target = build_stack(
+            capacities={"pm": 16 * MIB, "ssd": 32 * MIB, "hdd": 64 * MIB}
+        )
+        result = replay(trace, target.mux, target.clock)
+        assert result.operations == len(trace)
+
+    def test_trace_drives_autotuner(self):
+        """A trace replaces the synthetic workload in the auto-tuner."""
+        from repro.core.autotune import AutoTuner, Configuration
+
+        source = build_stack(
+            capacities={"pm": 16 * MIB, "ssd": 32 * MIB, "hdd": 64 * MIB}
+        )
+        recorder = TraceRecorder(source.mux)
+        varmail(recorder, source.clock, operations=40)
+        trace = recorder.trace
+
+        def traced_workload(fs, clock):
+            return replay(trace, fs, clock)
+
+        tuner = AutoTuner(
+            traced_workload,
+            candidates=[
+                Configuration("lru", policy="lru"),
+                Configuration("tpfs", policy="tpfs"),
+            ],
+            capacities={"pm": 16 * MIB, "ssd": 32 * MIB, "hdd": 64 * MIB},
+        )
+        evaluations = tuner.run()
+        assert len(evaluations) == 2
+        assert all(e.ops_per_sec > 0 for e in evaluations)

