@@ -35,20 +35,21 @@ def fast_data_service_time(enabled: bool) -> dict:
     )
     stack.filesystems["hdd"].page_cache.drop_clean()
 
-    # observe when each tier's sub-request completes
+    # observe when each tier's sub-request completes (the mux serves
+    # uncached sub-requests through the zero-copy read_into path)
     completions = []
-    original_read = stack.vfs.read
+    original_read_into = stack.vfs.read_into
 
-    def traced_read(h, offset, length):
-        data = original_read(h, offset, length)
+    def traced_read_into(h, offset, length, out, out_off=0):
+        n = original_read_into(h, offset, length, out, out_off)
         completions.append((h.fs.fs_name, stack.clock.now_ns))
-        return data
+        return n
 
-    stack.vfs.read = traced_read
+    stack.vfs.read_into = traced_read_into
     t0 = stack.clock.now_ns
     mux.read(handle, 0, blocks * BS)
     total_ms = (stack.clock.now_ns - t0) / 1e6
-    stack.vfs.read = original_read
+    stack.vfs.read_into = original_read_into
 
     pm_done = [t for fs_name, t in completions if fs_name == "nova"]
     stats = {

@@ -9,7 +9,12 @@ from repro.bench.experiments import run_all
 
 
 def main() -> int:
-    fast = "--fast" in sys.argv
+    argv = sys.argv[1:]
+    if argv and argv[0] == "wallclock":
+        from repro.bench.wallclock import main as wallclock_main
+
+        return wallclock_main(argv[1:])
+    fast = "--fast" in argv
     print(run_all(fast=fast))
     return 0
 

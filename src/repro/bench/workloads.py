@@ -96,6 +96,27 @@ def sequential_write(
     return ThroughputResult(written, elapsed)
 
 
+def sequential_read(
+    fs: FileSystem,
+    clock: SimClock,
+    path: str,
+    total_bytes: int,
+    io_size: int = 4 * MIB,
+) -> ThroughputResult:
+    """Sequential whole-file read in ``io_size`` chunks."""
+    handle = fs.open(path, OpenFlags.RDONLY)
+    start_ns = clock.now_ns
+    read = 0
+    while read < total_bytes:
+        n = min(io_size, total_bytes - read)
+        data = fs.read(handle, read, n)
+        assert len(data) == n, f"short read at {read}"
+        read += n
+    elapsed = (clock.now_ns - start_ns) / 1e9
+    fs.close(handle)
+    return ThroughputResult(read, elapsed)
+
+
 def random_write(
     fs: FileSystem,
     clock: SimClock,

@@ -103,6 +103,61 @@ class ScmCacheManager:
         self.stats.add("hit")
         return self._pm.load(self._slot_addrs[slot], self.block_size)
 
+    def contains(self, ino: int, file_block: int) -> bool:
+        """Membership probe with no charges or stats (batch-path planning)."""
+        return (ino, file_block) in self._slots
+
+    def span_cached(self, ino: int, first_block: int, count: int) -> int:
+        """Length of the contiguous cached prefix of the span (no charges)."""
+        slots = self._slots
+        n = 0
+        while n < count and (ino, first_block + n) in slots:
+            n += 1
+        return n
+
+    def note_misses(self, count: int) -> None:
+        """Account ``count`` lookup probes that missed (batch path).
+
+        Timing-equivalent to ``count`` :meth:`get` calls returning None.
+        """
+        if count <= 0:
+            return
+        self.clock.advance_ns(count * cal.CACHE_LOOKUP_NS)
+        self.stats.add("miss", count)
+
+    def get_many(
+        self, ino: int, first_block: int, count: int, out: bytearray, out_off: int
+    ) -> None:
+        """Fetch ``count`` consecutive cached blocks into ``out``.
+
+        Every block must be cached (check with :meth:`span_cached` first).
+        Timing-equivalent to ``count`` :meth:`get` calls: same MGLRU touch
+        order and identical per-block lookup/load charges, but contiguous
+        PM slot addresses coalesce into single :meth:`load_run` copies.
+        """
+        if count <= 0:
+            return
+        self.clock.advance_ns(count * (cal.CACHE_LOOKUP_NS + cal.CACHE_MGLRU_NS))
+        bs = self.block_size
+        addrs = self._slot_addrs
+        slots: List[int] = []
+        for i in range(count):
+            key = (ino, first_block + i)
+            slot = self._slots[key]
+            self._mglru.touch(key)
+            slots.append(slot)
+        self.stats.add("hit", count)
+        i = 0
+        pos = out_off
+        while i < count:
+            j = i + 1
+            while j < count and addrs[slots[j]] == addrs[slots[j - 1]] + bs:
+                j += 1
+            data = self._pm.load_run(addrs[slots[i]], j - i, bs)
+            out[pos : pos + len(data)] = data
+            pos += len(data)
+            i = j
+
     # -- fills / invalidation ----------------------------------------------------
 
     def put(self, ino: int, file_block: int, data: bytes) -> None:
@@ -125,6 +180,46 @@ class ScmCacheManager:
         self._pm.store(addr, data)
         self._pm.flush_range(addr, len(data))
 
+    def put_many(self, ino: int, first_block: int, data) -> None:
+        """Insert consecutive (clean) blocks from block-aligned ``data``.
+
+        Timing-equivalent to one :meth:`put` per block — MGLRU inserts and
+        evictions run per key in ascending order, so victim sequence and
+        slot assignment match the scalar path exactly — while the PM
+        stores/flushes coalesce over contiguous slot addresses.
+        """
+        bs = self.block_size
+        if len(data) == 0 or len(data) % bs:
+            raise ValueError("cache stores whole blocks")
+        count = len(data) // bs
+        self.clock.advance_ns(
+            count
+            * (cal.CACHE_LOOKUP_NS + cal.CACHE_MGLRU_NS + cal.CACHE_SLOT_META_NS)
+        )
+        slots: List[int] = []
+        for i in range(count):
+            key = (ino, first_block + i)
+            slot = self._slots.get(key)
+            if slot is None:
+                for victim in self._mglru.insert(key):
+                    self._free_slots.append(self._slots.pop(victim))
+                    self.stats.add("evict")
+                slot = self._free_slots.pop()
+                self._slots[key] = slot
+                self.stats.add("fill")
+            slots.append(slot)
+        src = memoryview(data)
+        addrs = self._slot_addrs
+        i = 0
+        while i < count:
+            j = i + 1
+            while j < count and addrs[slots[j]] == addrs[slots[j - 1]] + bs:
+                j += 1
+            addr = addrs[slots[i]]
+            self._pm.store_run(addr, src[i * bs : j * bs], bs)
+            self._pm.flush_range(addr, (j - i) * bs, ops=j - i)
+            i = j
+
     def invalidate(self, ino: int, file_block: int) -> bool:
         """Drop a block (called on writes so the cache never serves stale data)."""
         key = (ino, file_block)
@@ -135,6 +230,32 @@ class ScmCacheManager:
         self._free_slots.append(slot)
         self.stats.add("invalidate")
         return True
+
+    def invalidate_range(self, ino: int, first_block: int, count: int) -> int:
+        """Drop every cached block of ``ino`` in [first_block, +count).
+
+        Equivalent to calling :meth:`invalidate` per block in ascending
+        order, but skips the per-block scan when the range dwarfs the
+        cache's population.
+        """
+        if count <= 0:
+            return 0
+        end = first_block + count
+        if len(self._slots) < count:
+            targets = sorted(
+                fb
+                for (i, fb) in self._slots
+                if i == ino and first_block <= fb < end
+            )
+        else:
+            targets = [
+                fb
+                for fb in range(first_block, end)
+                if (ino, fb) in self._slots
+            ]
+        for fb in targets:
+            self.invalidate(ino, fb)
+        return len(targets)
 
     def invalidate_file(self, ino: int) -> int:
         """Drop every cached block of a file (unlink/truncate)."""

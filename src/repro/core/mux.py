@@ -145,6 +145,10 @@ class MuxFileSystem(FileSystem):
         self.ns = MuxNamespace(clock.now())
         self.engine = MigrationEngine(self)
         self.cache: Optional[ScmCacheManager] = None
+        #: rank of the tier hosting the SCM cache (0 = fastest); kept in
+        #: sync by _refresh_cache_and_meta / remove_tier so _cacheable
+        #: never falls back to a stale default
+        self._cache_tier_rank = 0
         self.block_size = 0
         self.stats = CounterSet()
         self._meta: Optional[MuxMetaWriter] = None
@@ -247,6 +251,7 @@ class MuxFileSystem(FileSystem):
         if self.cache is not None and victim.kind is DeviceKind.PERSISTENT_MEMORY:
             # the cache lived on the departing tier; drop it
             self.cache = None
+            self._cache_tier_rank = 0
         self.registry.remove(tier_id)
         self._refresh_cache_and_meta()
 
@@ -385,8 +390,7 @@ class MuxFileSystem(FileSystem):
         for start, count in _contiguous_spans(blocks):
             inode.blt.map_range(start, count, dst_tier)
             if self.cache is not None:
-                for fb in range(start, start + count):
-                    self.cache.invalidate(inode.ino, fb)
+                self.cache.invalidate_range(inode.ino, start, count)
         if self._meta is not None:
             self._meta.note(2)
 
@@ -602,42 +606,104 @@ class MuxFileSystem(FileSystem):
     def _read_span(
         self, inode: CollectiveInode, tier: Tier, req: SubRequest, out: bytearray
     ) -> None:
-        """Serve one sub-request, through the SCM cache when applicable."""
+        """Serve one sub-request, through the SCM cache when applicable.
+
+        Hits and misses are handled run-at-a-time: consecutive cached
+        blocks go through :meth:`ScmCacheManager.get_many`, a contiguous
+        miss run is one ``vfs.read`` sized to the file plus one
+        :meth:`~ScmCacheManager.put_many`.  The charge sequence matches
+        the scalar per-block path exactly (the first hit after a miss run
+        is still fetched singly before the misses flush, as the per-block
+        loop did).
+        """
         if self.cache is None or not self._cacheable(tier):
             handle = self._tier_handle(inode, tier, create=False)
-            data = self.vfs.read(handle, req.offset, req.length)
-            out[req.buffer_offset : req.buffer_offset + len(data)] = data
+            # straight into the output buffer: one copy from tier to caller
+            self.vfs.read_into(
+                handle, req.offset, req.length, out, req.buffer_offset
+            )
             return
         bs = self.block_size
+        cache = self.cache
+        ino = inode.ino
         first_fb = req.offset // bs
         last_fb = (req.offset + req.length - 1) // bs
-        pending_miss: List[int] = []
 
-        def flush_misses() -> None:
-            if not pending_miss:
-                return
-            start_fb = pending_miss[0]
-            n = len(pending_miss)
+        def flush_misses(start_fb: int, n: int) -> None:
+            cache.note_misses(n)
             handle = self._tier_handle(inode, tier, create=False)
-            raw = self.vfs.read(handle, start_fb * bs, n * bs)
+            # one read for the whole contiguous miss run, sized to the
+            # file so we never ask the tier to read past EOF
+            want = min(n * bs, inode.size - start_fb * bs)
+            raw = self.vfs.read(handle, start_fb * bs, want)
             if len(raw) < n * bs:
                 raw += bytes(n * bs - len(raw))
-            for i, fb in enumerate(pending_miss):
-                block = raw[i * bs : (i + 1) * bs]
-                self.cache.put(inode.ino, fb, block)
-                self._copy_block_to_out(block, fb, req, out)
-            pending_miss.clear()
+            cache.put_many(ino, start_fb, raw)
+            lo = max(req.offset, start_fb * bs)
+            hi = min(req.offset + req.length, (start_fb + n) * bs)
+            dst = req.buffer_offset + (lo - req.offset)
+            out[dst : dst + hi - lo] = raw[lo - start_fb * bs : hi - start_fb * bs]
 
-        for fb in range(first_fb, last_fb + 1):
-            block = self.cache.get(inode.ino, fb)
-            if block is None:
-                if pending_miss and fb != pending_miss[-1] + 1:
-                    flush_misses()
-                pending_miss.append(fb)
+        fb = first_fb
+        miss_start = 0
+        miss_n = 0
+        while fb <= last_fb:
+            if cache.contains(ino, fb):
+                if miss_n:
+                    block = cache.get(ino, fb)
+                    self._copy_block_to_out(block, fb, req, out)
+                    flush_misses(miss_start, miss_n)
+                    miss_n = 0
+                    fb += 1
+                else:
+                    run = cache.span_cached(ino, fb, last_fb - fb + 1)
+                    self._hit_run(inode, fb, run, req, out)
+                    fb += run
             else:
-                flush_misses()
-                self._copy_block_to_out(block, fb, req, out)
-        flush_misses()
+                if miss_n == 0:
+                    miss_start = fb
+                miss_n += 1
+                fb += 1
+        if miss_n:
+            flush_misses(miss_start, miss_n)
+
+    def _hit_run(
+        self,
+        inode: CollectiveInode,
+        fb: int,
+        run: int,
+        req: SubRequest,
+        out: bytearray,
+    ) -> None:
+        """Copy ``run`` consecutive cached blocks into ``out``.
+
+        Partial edge blocks (request starts or ends mid-block) go through
+        single :meth:`~ScmCacheManager.get` calls so clipping stays simple;
+        the full interior lands in ``out`` directly via ``get_many``.
+        """
+        bs = self.block_size
+        cache = self.cache
+        ino = inode.ino
+        start, n = fb, run
+        if start * bs < req.offset:
+            block = cache.get(ino, start)
+            self._copy_block_to_out(block, start, req, out)
+            start += 1
+            n -= 1
+        if n <= 0:
+            return
+        req_end = req.offset + req.length
+        tail: Optional[int] = None
+        last = start + n - 1
+        if (last + 1) * bs > req_end:
+            tail = last
+            n -= 1
+        if n > 0:
+            dst = req.buffer_offset + (start * bs - req.offset)
+            cache.get_many(ino, start, n, out, dst)
+        if tail is not None:
+            block = cache.get(ino, tail)
+            self._copy_block_to_out(block, tail, req, out)
 
     def _copy_block_to_out(
         self, block: bytes, fb: int, req: SubRequest, out: bytearray
@@ -654,7 +720,7 @@ class MuxFileSystem(FileSystem):
     def _cacheable(self, tier: Tier) -> bool:
         return (
             self.cache is not None
-            and tier.rank >= getattr(self, "_cache_tier_rank", 0) + cal.CACHE_MIN_RANK_GAP
+            and tier.rank >= self._cache_tier_rank + cal.CACHE_MIN_RANK_GAP
         )
 
     def write(self, handle: FileHandle, offset: int, data: bytes) -> int:
@@ -719,8 +785,9 @@ class MuxFileSystem(FileSystem):
             if inode.migration_active:
                 inode.dirty_during_migration.update(range(seg_first, seg_last + 1))
             if self.cache is not None:
-                for fb in range(seg_first, seg_last + 1):
-                    self.cache.invalidate(inode.ino, fb)
+                self.cache.invalidate_range(
+                    inode.ino, seg_first, seg_last - seg_first + 1
+                )
             self.policy.on_access(
                 inode.ino,
                 seg_first,
@@ -813,32 +880,48 @@ class MuxFileSystem(FileSystem):
         Full blocks and unmapped blocks follow the policy's placement;
         *partial* edge blocks that already live on some tier are updated in
         place on that tier — a sub-block write must not split one block's
-        bytes across two file systems (the BLT is block-granular).
+        bytes across two file systems (the BLT is block-granular).  Only
+        the two edge blocks can be partial, so the split is (head?, body,
+        tail?) with one data slice per coalesced segment instead of a
+        per-block loop.
         """
         bs = self.block_size
         end = offset + len(data)
-        raw: List[Tuple[int, int, bytes]] = []
+        # (tier, start, end) spans; data is sliced once after coalescing
+        raw: List[Tuple[int, int, int]] = []
         pos = offset
-        while pos < end:
-            fb = pos // bs
-            block_end = (fb + 1) * bs
-            take = min(end, block_end) - pos
-            partial = take < bs
-            current = inode.blt.lookup(fb) if partial else None
-            tier_id = current if (partial and current is not None) else policy_tier
-            raw.append((tier_id, pos, data[pos - offset : pos - offset + take]))
-            pos += take
-        # coalesce adjacent same-tier segments
-        segments: List[Tuple[int, int, bytes]] = []
-        for tier_id, seg_off, seg_data in raw:
-            if segments and segments[-1][0] == tier_id and (
-                segments[-1][1] + len(segments[-1][2]) == seg_off
-            ):
-                prev = segments[-1]
-                segments[-1] = (tier_id, prev[1], prev[2] + seg_data)
+        if offset % bs:
+            fb = offset // bs
+            head_end = min(end, (fb + 1) * bs)
+            current = inode.blt.lookup(fb)
+            tier_id = current if current is not None else policy_tier
+            raw.append((tier_id, offset, head_end))
+            pos = head_end
+        tail: Optional[Tuple[int, int, int]] = None
+        if pos < end and end % bs:
+            fb = (end - 1) // bs
+            tail_start = fb * bs
+            if tail_start >= pos:
+                current = inode.blt.lookup(fb)
+                tier_id = current if current is not None else policy_tier
+                tail = (tier_id, tail_start, end)
+        body_end = tail[1] if tail is not None else end
+        if pos < body_end:
+            raw.append((policy_tier, pos, body_end))
+        if tail is not None:
+            raw.append(tail)
+        # coalesce adjacent same-tier spans
+        spans: List[Tuple[int, int, int]] = []
+        for tier_id, seg_start, seg_end in raw:
+            if spans and spans[-1][0] == tier_id and spans[-1][2] == seg_start:
+                spans[-1] = (tier_id, spans[-1][1], seg_end)
             else:
-                segments.append((tier_id, seg_off, seg_data))
-        return segments
+                spans.append((tier_id, seg_start, seg_end))
+        view = memoryview(data)
+        return [
+            (tier_id, seg_start, bytes(view[seg_start - offset : seg_end - offset]))
+            for tier_id, seg_start, seg_end in spans
+        ]
 
     def truncate(self, handle: FileHandle, size: int) -> None:
         handle.ensure_open()
@@ -856,8 +939,7 @@ class MuxFileSystem(FileSystem):
         new_end = -(-size // self.block_size)
         if old_end > new_end:
             if self.cache is not None:
-                for fb in range(new_end, old_end):
-                    self.cache.invalidate(inode.ino, fb)
+                self.cache.invalidate_range(inode.ino, new_end, old_end - new_end)
             inode.blt.unmap_range(new_end, old_end - new_end)
         now = self.clock.now()
         inode.size = size
@@ -888,8 +970,7 @@ class MuxFileSystem(FileSystem):
                 tier_handle, run_start * self.block_size, run_len * self.block_size
             )
             if self.cache is not None:
-                for fb in range(run_start, run_start + run_len):
-                    self.cache.invalidate(inode.ino, fb)
+                self.cache.invalidate_range(inode.ino, run_start, run_len)
         inode.blt.unmap_range(first_fb, count)
         if self._meta is not None:
             self._meta.note(1)

@@ -18,9 +18,21 @@ from repro.sim.stats import DeviceStats
 
 DEFAULT_BLOCK_SIZE = 4096
 
+#: arena granularity: blocks per lazily-allocated backing chunk (2 MiB of
+#: data per chunk at the default 4 KiB block size)
+ARENA_CHUNK_BLOCKS = 512
+
 
 class Device:
-    """A simulated block device backed by an in-memory sparse block store."""
+    """A simulated block device backed by a chunked bytearray arena.
+
+    The store is sparse at two levels: backing chunks are allocated lazily
+    on first write, and a per-chunk presence bitmask tracks which blocks
+    were actually materialized (unwritten blocks read as zeros, which the
+    native file systems rely on for sparse files).  Keeping runs of blocks
+    contiguous in one ``bytearray`` makes multi-block reads/writes single
+    slice operations instead of per-block dict lookups.
+    """
 
     def __init__(
         self,
@@ -41,7 +53,11 @@ class Device:
         self.num_blocks = capacity_bytes // block_size
         self.clock = clock
         self.stats = DeviceStats()
-        self._blocks: Dict[int, bytes] = {}
+        self._chunk_blocks = ARENA_CHUNK_BLOCKS
+        self._chunk_bytes = self._chunk_blocks * block_size
+        self._chunks: Dict[int, bytearray] = {}
+        self._present: Dict[int, int] = {}
+        self._materialized = 0
         self._zero_block = bytes(block_size)
 
     # -- bounds ------------------------------------------------------------
@@ -64,6 +80,64 @@ class Device:
         )
         return latency + self.profile.transfer_ns(nbytes, write=write)
 
+    # -- arena plumbing (no simulated-time charges) ----------------------------
+
+    def _read_span_raw(self, block_no: int, count: int) -> bytes:
+        """Copy ``count`` blocks out of the arena (zeros where unwritten)."""
+        bs = self.block_size
+        out = bytearray(count * bs)
+        bno, remaining, pos = block_no, count, 0
+        while remaining:
+            ci, cb = divmod(bno, self._chunk_blocks)
+            take = min(remaining, self._chunk_blocks - cb)
+            chunk = self._chunks.get(ci)
+            if chunk is not None:
+                off = cb * bs
+                out[pos : pos + take * bs] = chunk[off : off + take * bs]
+            bno += take
+            remaining -= take
+            pos += take * bs
+        return bytes(out)
+
+    def _write_span_raw(self, block_no: int, data) -> None:
+        """Copy block-aligned ``data`` into the arena, marking presence."""
+        bs = self.block_size
+        src = memoryview(data)
+        bno, remaining, pos = block_no, len(data) // bs, 0
+        while remaining:
+            ci, cb = divmod(bno, self._chunk_blocks)
+            take = min(remaining, self._chunk_blocks - cb)
+            chunk = self._chunks.get(ci)
+            if chunk is None:
+                chunk = bytearray(self._chunk_bytes)
+                self._chunks[ci] = chunk
+            off = cb * bs
+            chunk[off : off + take * bs] = src[pos : pos + take * bs]
+            run_mask = ((1 << take) - 1) << cb
+            mask = self._present.get(ci, 0)
+            added = run_mask & ~mask
+            if added:
+                self._materialized += added.bit_count()
+                self._present[ci] = mask | run_mask
+            bno += take
+            remaining -= take
+            pos += take * bs
+
+    def _mark_present(self, block_no: int, count: int) -> None:
+        """Flag [block_no, block_no+count) as materialized."""
+        bno, remaining = block_no, count
+        while remaining:
+            ci, cb = divmod(bno, self._chunk_blocks)
+            take = min(remaining, self._chunk_blocks - cb)
+            run_mask = ((1 << take) - 1) << cb
+            mask = self._present.get(ci, 0)
+            added = run_mask & ~mask
+            if added:
+                self._materialized += added.bit_count()
+                self._present[ci] = mask | run_mask
+            bno += take
+            remaining -= take
+
     # -- block I/O -----------------------------------------------------------
 
     def read_blocks(self, block_no: int, count: int = 1) -> bytes:
@@ -73,11 +147,7 @@ class Device:
         cost = self._access_cost_ns(block_no, nbytes, write=False)
         self.clock.advance_ns(cost)
         self.stats.record_read(nbytes, cost)
-        parts = [
-            self._blocks.get(bno, self._zero_block)
-            for bno in range(block_no, block_no + count)
-        ]
-        return b"".join(parts)
+        return self._read_span_raw(block_no, count)
 
     def write_blocks(self, block_no: int, data: bytes) -> None:
         """Write whole blocks starting at ``block_no``."""
@@ -90,14 +160,25 @@ class Device:
         cost = self._access_cost_ns(block_no, len(data), write=True)
         self.clock.advance_ns(cost)
         self.stats.record_write(len(data), cost)
-        for i in range(count):
-            chunk = data[i * self.block_size : (i + 1) * self.block_size]
-            self._blocks[block_no + i] = bytes(chunk)
+        self._write_span_raw(block_no, data)
 
     def discard_block(self, block_no: int) -> None:
         """Drop a block's contents (TRIM-style); it reads back as zeros."""
         self._check_range(block_no, 1)
-        self._blocks.pop(block_no, None)
+        ci, cb = divmod(block_no, self._chunk_blocks)
+        mask = self._present.get(ci, 0)
+        bit = 1 << cb
+        if not mask & bit:
+            return
+        mask &= ~bit
+        self._materialized -= 1
+        if mask:
+            self._present[ci] = mask
+            off = cb * self.block_size
+            self._chunks[ci][off : off + self.block_size] = self._zero_block
+        else:
+            del self._present[ci]
+            self._chunks.pop(ci, None)
 
     def flush(self) -> None:
         """Drain any volatile device buffer.  No-op for the base device."""
@@ -107,12 +188,16 @@ class Device:
     @property
     def materialized_blocks(self) -> int:
         """Number of blocks holding real data (for space accounting tests)."""
-        return len(self._blocks)
+        return self._materialized
 
     def peek_block(self, block_no: int) -> Optional[bytes]:
         """Read block contents without charging time (test/debug helper)."""
         self._check_range(block_no, 1)
-        return self._blocks.get(block_no)
+        ci, cb = divmod(block_no, self._chunk_blocks)
+        if not (self._present.get(ci, 0) >> cb) & 1:
+            return None
+        off = cb * self.block_size
+        return bytes(self._chunks[ci][off : off + self.block_size])
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -32,8 +32,35 @@ class PersistentMemoryDevice(Device):
             raise ValueError("PersistentMemoryDevice needs a byte-addressable profile")
         super().__init__(name, profile, capacity_bytes, clock, block_size)
         #: bytes store()d since the last flush_range covering them; tracked
-        #: at cache-line granularity for persistence-ordering tests.
-        self._dirty_lines: set[int] = set()
+        #: at cache-line granularity for persistence-ordering tests.  Kept
+        #: as disjoint half-open [start, end) line intervals so a span
+        #: store/flush is O(intervals), not O(lines).
+        self._dirty_runs: list[tuple[int, int]] = []
+
+    def _mark_dirty(self, first_line: int, end_line: int) -> None:
+        merged_lo, merged_hi = first_line, end_line
+        keep: list[tuple[int, int]] = []
+        for s, e in self._dirty_runs:
+            if e < merged_lo or s > merged_hi:
+                keep.append((s, e))
+            else:
+                merged_lo = min(merged_lo, s)
+                merged_hi = max(merged_hi, e)
+        keep.append((merged_lo, merged_hi))
+        keep.sort()
+        self._dirty_runs = keep
+
+    def _clear_dirty(self, first_line: int, end_line: int) -> None:
+        keep: list[tuple[int, int]] = []
+        for s, e in self._dirty_runs:
+            if e <= first_line or s >= end_line:
+                keep.append((s, e))
+            else:
+                if s < first_line:
+                    keep.append((s, first_line))
+                if e > end_line:
+                    keep.append((end_line, e))
+        self._dirty_runs = keep
 
     # -- byte-granular DAX path ------------------------------------------------
 
@@ -70,10 +97,59 @@ class PersistentMemoryDevice(Device):
         self._poke_span(addr, data)
         first = addr // CACHE_LINE
         last = (addr + len(data) - 1) // CACHE_LINE
-        self._dirty_lines.update(range(first, last + 1))
+        self._mark_dirty(first, last + 1)
 
-    def flush_range(self, addr: int, length: int) -> None:
-        """Flush the cache lines covering [addr, addr+length) (CLWB model)."""
+    def load_run(self, addr: int, count: int, chunk: int) -> bytes:
+        """``count`` back-to-back loads of ``chunk`` bytes each.
+
+        Timing-equivalent to ``count`` sequential :meth:`load` calls over a
+        contiguous span (each charged its own latency), but the bytes move
+        with one arena copy and the stats record ``count`` read ops.
+        """
+        length = count * chunk
+        self._check_span(addr, length)
+        if length == 0:
+            return b""
+        cost = count * (
+            self.profile.read_latency_ns
+            + self.profile.transfer_ns(chunk, write=False)
+        )
+        self.clock.advance_ns(cost)
+        self.stats.record_read(length, cost, ops=count)
+        return self._peek_span(addr, length)
+
+    def store_run(self, addr: int, data, chunk: int) -> None:
+        """``count`` back-to-back stores of ``chunk`` bytes each.
+
+        Timing-equivalent to storing ``data`` in ``chunk``-sized pieces at
+        contiguous addresses, one :meth:`store` per piece.
+        """
+        length = len(data)
+        if length % chunk:
+            raise DeviceError(
+                f"{self.name}: store_run length {length} not a multiple of {chunk}"
+            )
+        self._check_span(addr, length)
+        if length == 0:
+            return
+        count = length // chunk
+        cost = count * (
+            self.profile.write_latency_ns
+            + self.profile.transfer_ns(chunk, write=True)
+        )
+        self.clock.advance_ns(cost)
+        self.stats.record_write(length, cost, ops=count)
+        self._poke_span(addr, data)
+        first = addr // CACHE_LINE
+        last = (addr + length - 1) // CACHE_LINE
+        self._mark_dirty(first, last + 1)
+
+    def flush_range(self, addr: int, length: int, ops: int = 1) -> None:
+        """Flush the cache lines covering [addr, addr+length) (CLWB model).
+
+        ``ops`` lets one contiguous flush stand in for ``ops`` logical
+        flush calls (same line count either way, so the cost is identical).
+        """
         self._check_span(addr, length)
         if length == 0:
             return
@@ -82,9 +158,8 @@ class PersistentMemoryDevice(Device):
         lines = last - first + 1
         cost = lines * self.profile.flush_latency_ns
         self.clock.advance_ns(cost)
-        self.stats.record_flush(cost)
-        for line in range(first, last + 1):
-            self._dirty_lines.discard(line)
+        self.stats.record_flush(cost, ops=ops)
+        self._clear_dirty(first, last + 1)
 
     def drain(self) -> None:
         """SFENCE model: order prior flushes.  Charged as one flush op."""
@@ -94,31 +169,37 @@ class PersistentMemoryDevice(Device):
     @property
     def unflushed_lines(self) -> int:
         """Cache lines written but not yet flushed (crash-consistency tests)."""
-        return len(self._dirty_lines)
+        return sum(e - s for s, e in self._dirty_runs)
 
-    # -- span helpers over the block store --------------------------------------
+    # -- span helpers over the arena --------------------------------------------
 
     def _peek_span(self, addr: int, length: int) -> bytes:
-        out = bytearray()
-        pos = addr
-        remaining = length
-        while remaining > 0:
-            bno, off = divmod(pos, self.block_size)
-            take = min(remaining, self.block_size - off)
-            block = self._blocks.get(bno, self._zero_block)
-            out += block[off : off + take]
-            pos += take
-            remaining -= take
+        out = bytearray(length)
+        idx = 0
+        while idx < length:
+            ci, off = divmod(addr + idx, self._chunk_bytes)
+            take = min(length - idx, self._chunk_bytes - off)
+            chunk = self._chunks.get(ci)
+            if chunk is not None:
+                out[idx : idx + take] = chunk[off : off + take]
+            idx += take
         return bytes(out)
 
-    def _poke_span(self, addr: int, data: bytes) -> None:
-        pos = addr
+    def _poke_span(self, addr: int, data) -> None:
+        length = len(data)
+        if length == 0:
+            return
+        src = memoryview(data)
         idx = 0
-        while idx < len(data):
-            bno, off = divmod(pos, self.block_size)
-            take = min(len(data) - idx, self.block_size - off)
-            block = bytearray(self._blocks.get(bno, self._zero_block))
-            block[off : off + take] = data[idx : idx + take]
-            self._blocks[bno] = bytes(block)
-            pos += take
+        while idx < length:
+            ci, off = divmod(addr + idx, self._chunk_bytes)
+            take = min(length - idx, self._chunk_bytes - off)
+            chunk = self._chunks.get(ci)
+            if chunk is None:
+                chunk = bytearray(self._chunk_bytes)
+                self._chunks[ci] = chunk
+            chunk[off : off + take] = src[idx : idx + take]
             idx += take
+        first_b = addr // self.block_size
+        last_b = (addr + length - 1) // self.block_size
+        self._mark_present(first_b, last_b - first_b + 1)

@@ -95,57 +95,83 @@ class NovaFileSystem(NativeFileSystem):
             return None
         return self.pm.load(self._block_addr(dev_block), self.block_size)
 
+    def _read_span_into(
+        self, inode: Inode, offset: int, length: int, out: bytearray, out_off: int
+    ) -> None:
+        """Run-level DAX reads: one :meth:`PersistentMemoryDevice.load_run`
+        per device-contiguous extent instead of one load per file block."""
+        bs = self.block_size
+        first_fb = offset // bs
+        last_fb = (offset + length - 1) // bs
+        end = offset + length
+        for run_start, run_len, value in inode.blockmap.runs(
+            first_fb, last_fb - first_fb + 1
+        ):
+            lo = max(run_start * bs, offset)
+            hi = min((run_start + run_len) * bs, end)
+            if value is None:
+                out[out_off + lo - offset : out_off + hi - offset] = bytes(hi - lo)
+                continue
+            fb_lo = lo // bs
+            fb_hi = (hi - 1) // bs
+            dev_block = value + (fb_lo - run_start)
+            data = self.pm.load_run(
+                self._block_addr(dev_block), fb_hi - fb_lo + 1, bs
+            )
+            src = lo - fb_lo * bs
+            out[out_off + lo - offset : out_off + hi - offset] = data[
+                src : src + (hi - lo)
+            ]
+
     def _write_span(self, inode: Inode, offset: int, data: bytes) -> None:
         """Copy-on-write: populate fresh blocks, then flip the index."""
-        first_fb = offset // self.block_size
-        last_fb = (offset + len(data) - 1) // self.block_size
+        bs = self.block_size
+        first_fb = offset // bs
+        end = offset + len(data)
+        last_fb = (end - 1) // bs
         count = last_fb - first_fb + 1
 
-        # Assemble the new contents of every touched block (RMW at edges).
-        new_blocks: List[bytes] = []
-        pos = offset
-        idx = 0
-        for fb in range(first_fb, last_fb + 1):
-            block_off = pos % self.block_size
-            take = min(len(data) - idx, self.block_size - block_off)
-            if take == self.block_size:
-                new_blocks.append(bytes(data[idx : idx + take]))
-            else:
-                base = self._read_block(inode, fb)
-                page = bytearray(base if base is not None else bytes(self.block_size))
-                page[block_off : block_off + take] = data[idx : idx + take]
-                new_blocks.append(bytes(page))
-            pos += take
-            idx += take
+        # Assemble the new contents of the touched span in one buffer;
+        # only the edge blocks need a base read (RMW of a partial block).
+        buf = bytearray(count * bs)
+        head_off = offset - first_fb * bs
+        if head_off or (first_fb == last_fb and end % bs):
+            base = self._read_block(inode, first_fb)
+            if base is not None:
+                buf[0:bs] = base
+        if last_fb != first_fb and end % bs:
+            base = self._read_block(inode, last_fb)
+            if base is not None:
+                buf[(count - 1) * bs :] = base
+        buf[head_off : head_off + len(data)] = data
 
         # Allocate fresh blocks (log-structured: never overwrite in place).
         hint = inode.blockmap.lookup(first_fb - 1) if first_fb else None
         runs = self.allocator.alloc_extent(count, None if hint is None else hint + 1)
 
-        # Store + flush the new data via DAX.
-        block_iter = iter(new_blocks)
+        # Store + flush the new data via DAX, one store per allocated run.
+        mv = memoryview(buf)
+        done = 0
         for dev_start, got in runs:
-            chunk = b"".join(next(block_iter) for _ in range(got))
             addr = self._block_addr(dev_start)
-            self.pm.store(addr, chunk)
-            self.pm.flush_range(addr, len(chunk))
+            self.pm.store(addr, mv[done * bs : (done + got) * bs])
+            self.pm.flush_range(addr, got * bs)
+            done += got
         self.pm.drain()
 
-        # Commit: free the old blocks, flip the mapping to the new ones.
-        old_frees: List[int] = []
+        # Commit: flip the mapping to the new blocks, free the old runs.
+        old_runs = [
+            (value, run_len)
+            for _, run_len, value in inode.blockmap.runs(first_fb, count)
+            if value is not None
+        ]
+        inode.allocated_blocks += count - sum(r for _, r in old_runs)
         fb = first_fb
         for dev_start, got in runs:
-            run_first_fb = fb
-            for _ in range(got):
-                old = inode.blockmap.lookup(fb)
-                if old is not None:
-                    old_frees.append(old)
-                else:
-                    inode.allocated_blocks += 1
-                fb += 1
-            inode.blockmap.map_range(run_first_fb, got, dev_start)
-        for old in old_frees:
-            self.allocator.free_run(old, 1)
+            inode.blockmap.map_range(fb, got, dev_start)
+            fb += got
+        for old_start, run_len in old_runs:
+            self.allocator.free_run(old_start, run_len)
         self.stats.add("cow_blocks", count)
 
     def _punch_range(self, inode: Inode, start_block: int, count: int) -> None:

@@ -376,22 +376,62 @@ class NativeFileSystem(FileSystem):
         length = min(length, inode.size - offset)
         if length == 0:
             return b""
-        out = bytearray()
+        out = bytearray(length)
+        self._read_span_into(inode, offset, length, out, 0)
+        inode.atime = self.clock.now()
+        self.stats.add("read")
+        self.stats.add("bytes_read", length)
+        return bytes(out)
+
+    def read_into(
+        self, handle: FileHandle, offset: int, length: int, out: bytearray, out_off: int = 0
+    ) -> int:
+        """Like :meth:`read`, but assembles straight into ``out`` at
+        ``out_off`` and returns the byte count — no intermediate ``bytes``
+        object on the cross-layer read path."""
+        handle.ensure_open()
+        if not OpenFlags.readable(handle.flags):
+            raise InvalidArgument("handle not open for reading")
+        if offset < 0 or length < 0:
+            raise InvalidArgument("negative offset/length")
+        self._charge_op()
+        inode = self.inodes.get(handle.ino)
+        if inode.is_dir:
+            raise IsADirectory(f"read from directory {handle.path!r}")
+        if offset >= inode.size:
+            return 0
+        length = min(length, inode.size - offset)
+        if length == 0:
+            return 0
+        self._read_span_into(inode, offset, length, out, out_off)
+        inode.atime = self.clock.now()
+        self.stats.add("read")
+        self.stats.add("bytes_read", length)
+        return length
+
+    def _read_span_into(
+        self, inode: Inode, offset: int, length: int, out: bytearray, out_off: int
+    ) -> None:
+        """Copy ``[offset, offset+length)`` of ``inode`` into ``out``.
+
+        Default implementation walks file blocks one at a time through
+        :meth:`_read_block`; file systems with run-aware indexes override
+        this to turn a span into a handful of device accesses.  Holes are
+        written as explicit zeros, so ``out`` need not be pre-zeroed.
+        """
         pos = offset
         end = offset + length
+        dst = out_off
         while pos < end:
             fb, block_off = divmod(pos, self.block_size)
             take = min(end - pos, self.block_size - block_off)
             block = self._read_block(inode, fb)
             if block is None:
-                out += bytes(take)
+                out[dst : dst + take] = bytes(take)
             else:
-                out += block[block_off : block_off + take]
+                out[dst : dst + take] = block[block_off : block_off + take]
             pos += take
-        inode.atime = self.clock.now()
-        self.stats.add("read")
-        self.stats.add("bytes_read", length)
-        return bytes(out)
+            dst += take
 
     def write(self, handle: FileHandle, offset: int, data: bytes) -> int:
         handle.ensure_open()

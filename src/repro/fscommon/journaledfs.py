@@ -179,21 +179,62 @@ class JournaledFileSystem(NativeFileSystem):
             self.page_cache.put(inode.ino, file_block + i, chunk, dirty=False)
         return data[: self.block_size]
 
+    def _read_span_into(
+        self, inode: Inode, offset: int, length: int, out: bytearray, out_off: int
+    ) -> None:
+        """Span read: runs of whole-block page-cache hits copy out in one
+        :meth:`PageCache.get_span`; everything else (misses, which go
+        through the readahead ramp, and partial edge blocks) falls back to
+        the per-block path.  The readahead window still advances once per
+        file block, exactly as the scalar loop would."""
+        bs = self.block_size
+        pos = offset
+        end = offset + length
+        dst = out_off
+        while pos < end:
+            fb, block_off = divmod(pos, bs)
+            take = min(end - pos, bs - block_off)
+            if block_off == 0 and take == bs:
+                span = self.page_cache.span_cached(inode.ino, fb, (end - pos) // bs)
+                if span:
+                    for i in range(span):
+                        self._readahead_window(inode.ino, fb + i)
+                    self.page_cache.get_span(inode.ino, fb, span, out, dst)
+                    pos += span * bs
+                    dst += span * bs
+                    continue
+            block = self._read_block(inode, fb)
+            if block is None:
+                out[dst : dst + take] = bytes(take)
+            else:
+                out[dst : dst + take] = block[block_off : block_off + take]
+            pos += take
+            dst += take
+
     def _write_span(self, inode: Inode, offset: int, data: bytes) -> None:
+        bs = self.block_size
         pos = offset
         idx = 0
+        n = len(data)
+        src = memoryview(data)
         dirtied: List[int] = []
-        while idx < len(data):
-            fb, block_off = divmod(pos, self.block_size)
-            take = min(len(data) - idx, self.block_size - block_off)
-            if take == self.block_size:
-                page = bytes(data[idx : idx + take])
-            else:
-                base = self._read_block(inode, fb)
-                page = bytearray(base if base is not None else bytes(self.block_size))
-                page[block_off : block_off + take] = data[idx : idx + take]
-                page = bytes(page)
-            self.page_cache.put(inode.ino, fb, page, dirty=True)
+        while idx < n:
+            fb, block_off = divmod(pos, bs)
+            take = min(n - idx, bs - block_off)
+            if block_off == 0 and take == bs:
+                # run of whole-block overwrites: batch into the page cache
+                run = (n - idx) // bs
+                self.page_cache.put_span(
+                    inode.ino, fb, src[idx : idx + run * bs], dirty=True
+                )
+                dirtied.extend(range(fb, fb + run))
+                pos += run * bs
+                idx += run * bs
+                continue
+            base = self._read_block(inode, fb)
+            page = bytearray(base if base is not None else bytes(bs))
+            page[block_off : block_off + take] = src[idx : idx + take]
+            self.page_cache.put(inode.ino, fb, bytes(page), dirty=True)
             dirtied.append(fb)
             pos += take
             idx += take

@@ -68,18 +68,20 @@ class DeviceStats:
         self.busy_ns = 0
         self.seeks = 0
 
-    def record_read(self, nbytes: int, latency_ns: int) -> None:
-        self.read_ops += 1
+    def record_read(self, nbytes: int, latency_ns: int, ops: int = 1) -> None:
+        """Account ``nbytes``/``latency_ns``; ``ops`` lets a batched call
+        stand in for ``ops`` logical operations without skewing counters."""
+        self.read_ops += ops
         self.bytes_read += nbytes
         self.busy_ns += latency_ns
 
-    def record_write(self, nbytes: int, latency_ns: int) -> None:
-        self.write_ops += 1
+    def record_write(self, nbytes: int, latency_ns: int, ops: int = 1) -> None:
+        self.write_ops += ops
         self.bytes_written += nbytes
         self.busy_ns += latency_ns
 
-    def record_flush(self, latency_ns: int) -> None:
-        self.flush_ops += 1
+    def record_flush(self, latency_ns: int, ops: int = 1) -> None:
+        self.flush_ops += ops
         self.busy_ns += latency_ns
 
     def record_seek(self) -> None:

@@ -127,6 +127,17 @@ class FileSystem(ABC):
     def read(self, handle: FileHandle, offset: int, length: int) -> bytes:
         """Read up to ``length`` bytes at ``offset``; short only at EOF."""
 
+    def read_into(
+        self, handle: FileHandle, offset: int, length: int, out: bytearray, out_off: int = 0
+    ) -> int:
+        """Read up to ``length`` bytes at ``offset`` into ``out`` at
+        ``out_off``; returns the byte count.  File systems override this to
+        assemble straight into the caller's buffer (one copy end to end);
+        the default funnels through :meth:`read`."""
+        data = self.read(handle, offset, length)
+        out[out_off : out_off + len(data)] = data
+        return len(data)
+
     @abstractmethod
     def write(self, handle: FileHandle, offset: int, data: bytes) -> int:
         """Write ``data`` at ``offset`` (sparse writes allowed); returns n."""

@@ -163,6 +163,12 @@ class VFS:
         self._charge()
         return handle.fs.read(handle, offset, length)
 
+    def read_into(
+        self, handle: FileHandle, offset: int, length: int, out: bytearray, out_off: int = 0
+    ) -> int:
+        self._charge()
+        return handle.fs.read_into(handle, offset, length, out, out_off)
+
     def write(self, handle: FileHandle, offset: int, data: bytes) -> int:
         self._charge()
         return handle.fs.write(handle, offset, data)
