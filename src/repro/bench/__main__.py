@@ -1,5 +1,9 @@
 """CLI entry point: ``python -m repro.bench`` reruns every paper experiment
-and prints the paper-vs-measured tables recorded in EXPERIMENTS.md."""
+and prints the paper-vs-measured tables recorded in EXPERIMENTS.md.
+
+Subcommands: ``wallclock`` (host-CPU trajectory harness + ``--smoke`` CI
+drift guard) and ``profile`` (cProfile hotspot report for any registered
+wall-clock workload)."""
 
 from __future__ import annotations
 
@@ -14,6 +18,10 @@ def main() -> int:
         from repro.bench.wallclock import main as wallclock_main
 
         return wallclock_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from repro.bench.profile import main as profile_main
+
+        return profile_main(argv[1:])
     fast = "--fast" in argv
     print(run_all(fast=fast))
     return 0

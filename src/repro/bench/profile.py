@@ -1,0 +1,92 @@
+"""Hotspot profiler: ``python -m repro.bench profile <workload>``.
+
+Runs any workload registered in the wall-clock harness under
+:mod:`cProfile` and prints the top-N functions by cumulative host time.
+This makes perf work profile-guided: before optimising a path, run the
+closest workload here and read where the host CPU actually goes (the
+simulated clock is unaffected — profiling only observes the host).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench profile metadata_churn
+    PYTHONPATH=src python -m repro.bench profile seq_read --smoke -n 40
+    PYTHONPATH=src python -m repro.bench profile --list
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+from typing import List, Optional
+
+DEFAULT_TOP_N = 25
+
+
+def _registered():
+    from repro.bench.wallclock import WORKLOADS
+
+    return dict(WORKLOADS)
+
+
+def profile_workload(
+    name: str, smoke: bool = False, top_n: int = DEFAULT_TOP_N
+) -> str:
+    """Run one registered workload under cProfile; returns the report text."""
+    workloads = _registered()
+    if name not in workloads:
+        raise KeyError(name)
+    fn = workloads[name]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = fn(smoke)
+    profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative")
+    stats.print_stats(top_n)
+    header = (
+        f"profile: {name} ({'smoke' if smoke else 'full'} size) — "
+        f"wall={result['wall_s']:.3f}s host, "
+        f"sim={result['sim_elapsed_s']:.4f}s simulated\n"
+        f"top {top_n} functions by cumulative host time:\n"
+    )
+    return header + buf.getvalue()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    workloads = _registered()
+    if "--list" in argv or not [a for a in argv if not a.startswith("-")]:
+        print("registered workloads:")
+        for name in workloads:
+            print(f"  {name}")
+        print("usage: python -m repro.bench profile <workload> [--smoke] [-n N]")
+        return 0 if "--list" in argv else 2
+    smoke = "--smoke" in argv
+    top_n = DEFAULT_TOP_N
+    top_value: Optional[str] = None
+    for flag in ("-n", "--top"):
+        if flag in argv:
+            idx = argv.index(flag)
+            if idx + 1 >= len(argv):
+                print(f"profile: {flag} requires a number", file=sys.stderr)
+                return 2
+            top_value = argv[idx + 1]
+            try:
+                top_n = int(top_value)
+            except ValueError:
+                print(f"profile: bad {flag} value {top_value!r}", file=sys.stderr)
+                return 2
+            break
+    name = [a for a in argv if not a.startswith("-") and a != top_value][0]
+    if name not in workloads:
+        print(f"profile: unknown workload {name!r}; --list shows choices", file=sys.stderr)
+        return 2
+    print(profile_workload(name, smoke=smoke, top_n=top_n))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,9 @@ from repro.bench.macro import fileserver, varmail, webserver
 from repro.bench.workloads import (
     hot_set_reads,
     make_file,
+    metadata_churn,
+    metadata_tree,
+    migration_churn,
     sequential_read,
     sequential_write,
 )
@@ -198,6 +201,54 @@ def _wl_varmail(smoke: bool) -> Dict[str, object]:
     }
 
 
+def _wl_metadata_churn(smoke: bool) -> Dict[str, object]:
+    files, ops = (60, 400) if smoke else (200, 12000)
+    stack = build_stack()
+    # tree construction is setup; the timed section is the steady-state
+    # metadata traffic, routed through the VFS like a real application
+    live = metadata_tree(stack.vfs, files=files, root="/mux")
+    t0 = time.perf_counter()
+    res = metadata_churn(
+        stack.vfs,
+        stack.clock,
+        files=files,
+        operations=ops,
+        root="/mux",
+        live=live,
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "ops": res.operations,
+        "bytes": 0,
+        "sim_elapsed_s": res.total_ns / 1e9,
+        "fingerprint": _mux_fingerprint(stack),
+    }
+
+
+def _wl_migration_churn(smoke: bool) -> Dict[str, object]:
+    files, size, rounds = (2, 1 * MIB, 2) if smoke else (2, 16 * MIB, 6)
+    stack = build_stack()
+    tier_ids = [stack.tier_id(n) for n in ("pm", "ssd", "hdd") if n in stack.tier_ids]
+    t0 = time.perf_counter()
+    res = migration_churn(
+        stack.mux,
+        stack.clock,
+        tier_ids,
+        files=files,
+        file_bytes=size,
+        rounds=rounds,
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "ops": files * rounds,
+        "bytes": res.bytes_moved,
+        "sim_elapsed_s": res.elapsed_s,
+        "fingerprint": _mux_fingerprint(stack),
+    }
+
+
 def _wl_strata_fileserver(smoke: bool) -> Dict[str, object]:
     files, ops = (8, 100) if smoke else (20, 300)
     strata = build_strata()
@@ -220,6 +271,8 @@ WORKLOADS: List[Tuple[str, Callable[[bool], Dict[str, object]]]] = [
     ("fileserver", _wl_fileserver),
     ("webserver", _wl_webserver),
     ("varmail", _wl_varmail),
+    ("metadata_churn", _wl_metadata_churn),
+    ("migration_churn", _wl_migration_churn),
     ("strata_fileserver", _wl_strata_fileserver),
 ]
 

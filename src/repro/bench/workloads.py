@@ -194,3 +194,157 @@ def hot_set_reads(
     total = clock.now_ns - start_ns
     fs.close(handle)
     return LatencyResult(iterations, total)
+
+
+def metadata_tree(
+    fs: FileSystem,
+    files: int = 200,
+    dirs: int = 8,
+    payload: int = 1024,
+    root: str = "",
+) -> List[str]:
+    """Build the deep tree :func:`metadata_churn` runs over.
+
+    Every file sits five components below the root — the depth real
+    metadata benchmarks (e.g. filebench varmail trees) use.  Returns the
+    created file paths; split out so harnesses can keep tree construction
+    outside the timed section.
+    """
+    for d in (f"{root}/meta", f"{root}/meta/sub", f"{root}/meta/sub/tree"):
+        if not fs.exists(d):
+            fs.mkdir(d)
+    for d in range(dirs):
+        fs.mkdir(f"{root}/meta/sub/tree/d{d:02d}")
+    blob = bytes(payload)
+    live: List[str] = []
+    for n in range(files):
+        path = f"{root}/meta/sub/tree/d{n % dirs:02d}/f{n:06d}"
+        handle = fs.create(path)
+        fs.write(handle, 0, blob)
+        fs.close(handle)
+        live.append(path)
+    return live
+
+
+def metadata_churn(
+    fs: FileSystem,
+    clock: SimClock,
+    files: int = 200,
+    operations: int = 2000,
+    dirs: int = 8,
+    payload: int = 1024,
+    seed: int = 17,
+    root: str = "",
+    live: Optional[List[str]] = None,
+) -> LatencyResult:
+    """Namespace-heavy churn: stat/open/close/lookup deep small files.
+
+    The op mix is dominated by path resolution over a deep directory tree
+    (stats, opens, negative lookups of names that do not exist) with a
+    light create/unlink churn to keep cache invalidation honest, so it
+    measures the control plane — dentry cache, path normalization,
+    mount-table lookup — with barely any data movement.  Pass a VFS as
+    ``fs`` (with ``root`` set to Mux's mount point) to exercise the full
+    dispatch path applications actually take.
+    """
+    rng = DeterministicRng(seed)
+    if live is None:
+        live = metadata_tree(fs, files, dirs, payload, root)
+    blob = bytes(payload)
+    next_id = files
+    # the negative-lookup pool is fixed names that never exist; built up
+    # front so the timed loop measures resolution, not string formatting
+    gone = [
+        f"{root}/meta/sub/tree/d{d:02d}/gone{g:03d}"
+        for d in range(dirs)
+        for g in range(25)
+    ]
+
+    def spawn() -> None:
+        nonlocal next_id
+        path = f"{root}/meta/sub/tree/d{next_id % dirs:02d}/f{next_id:06d}"
+        next_id += 1
+        handle = fs.create(path)
+        fs.write(handle, 0, blob)
+        fs.close(handle)
+        live.append(path)
+
+    start_ns = clock.now_ns
+    for _ in range(operations):
+        roll = rng.random()
+        if roll < 0.005 or not live:
+            spawn()
+        elif roll < 0.345:
+            fs.getattr(rng.choice(live))
+        elif roll < 0.595:
+            handle = fs.open(rng.choice(live), OpenFlags.RDONLY)
+            fs.close(handle)
+        elif roll < 0.995:
+            fs.exists(rng.choice(gone))
+        else:
+            victim = live.pop(rng.randint(0, len(live) - 1))
+            fs.unlink(victim)
+    total = clock.now_ns - start_ns
+    return LatencyResult(operations, total)
+
+
+def migration_churn(
+    mux,
+    clock: SimClock,
+    tier_ids: List[int],
+    files: int = 4,
+    file_bytes: int = 4 * MIB,
+    rounds: int = 6,
+    write_every: int = 3,
+    seed: int = 23,
+) -> ThroughputResult:
+    """Promotion/demotion churn under concurrent writes (Policy Runner path).
+
+    Files bounce between the fastest and slowest tiers through the OCC
+    Synchronizer while a writer dirties random blocks between migration
+    steps — the adversarial §2.4 pattern at benchmark scale.  Measures
+    dirty-block tracking, clean-set computation and BLT commit cost.
+    """
+    from repro.core.policy import MigrationOrder
+
+    rng = DeterministicRng(seed)
+    if not mux.exists("/churn"):
+        mux.mkdir("/churn")
+    bs = mux.block_size
+    chunk = bytes(512 * 1024)
+    handles = []
+    for i in range(files):
+        handle = mux.open(
+            f"/churn/f{i}", OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.TRUNC
+        )
+        written = 0
+        while written < file_bytes:
+            n = min(len(chunk), file_bytes - written)
+            mux.write(handle, written, chunk[:n])
+            written += n
+        handles.append(handle)
+    blocks = file_bytes // bs
+    fast, slow = tier_ids[0], tier_ids[-1]
+    moved_bytes = 0
+    start_ns = clock.now_ns
+    demote = True
+    for _ in range(rounds):
+        src, dst = (fast, slow) if demote else (slow, fast)
+        demote = not demote
+        for handle in handles:
+            task = mux.engine.submit(
+                MigrationOrder(handle.ino, 0, blocks, src, dst, reason="churn")
+            )
+            step = 0
+            while task.step():
+                if step % write_every == 0:
+                    offset = rng.randint(0, blocks - 1) * bs
+                    mux.write(handle, offset, b"\xcd" * 512)
+                step += 1
+            if task.error is not None:
+                raise task.error
+            moved_bytes += task.result.bytes_moved
+    elapsed = (clock.now_ns - start_ns) / 1e9
+    for handle in handles:
+        mux.close(handle)
+    return ThroughputResult(moved_bytes, elapsed)

@@ -23,6 +23,8 @@ from repro.errors import (
     NotADirectory,
 )
 from repro.core.blt import BlockLookupTable, ExtentBlt
+from repro.core.dcache import DentryCache
+from repro.core.intervals import BlockIntervalSet
 from repro.vfs import path as vpath
 from repro.vfs.interface import FileHandle
 from repro.vfs.stat import SINGLE_OWNER_ATTRS, FileType, Stat
@@ -88,8 +90,9 @@ class CollectiveInode:
         self.version = 0
         #: migration in flight?
         self.migration_active = False
-        #: blocks the user wrote while a migration was active
-        self.dirty_during_migration: Set[int] = set()
+        #: blocks the user wrote while a migration was active, kept as
+        #: disjoint intervals so the OCC clean-set math is O(runs)
+        self.dirty_during_migration = BlockIntervalSet()
         #: pessimistic fallback lock
         self.locked = False
         # --- delegation state ---
@@ -136,6 +139,11 @@ class MuxNamespace:
         self._inodes: Dict[int, CollectiveInode] = {}
         self._next_ino = self.ROOT_INO
         self.root = self._alloc(FileType.DIRECTORY, now, 0o755, None)
+        #: path -> ino lookup cache (positive + negative entries).  Safe
+        #: because inode numbers are never reused: a stale positive entry
+        #: misses in ``_inodes`` and falls back to the walk.  Mutators
+        #: below invalidate the affected names explicitly.
+        self.dcache = DentryCache()
 
     def _alloc(
         self,
@@ -161,6 +169,15 @@ class MuxNamespace:
             raise FileNotFound(f"mux: stale inode {ino}")
 
     def resolve(self, path: str) -> CollectiveInode:
+        path = vpath.normalize(path)
+        cached = self.dcache.get(path)
+        if cached is not None:
+            if DentryCache.is_negative(cached):
+                raise FileNotFound(f"mux: {path!r} does not exist")
+            inode = self._inodes.get(cached)
+            if inode is not None:
+                return inode
+            self.dcache.invalidate(path)  # stale: inode died; re-walk
         inode = self.root
         for name in vpath.components(path):
             if not inode.is_dir:
@@ -168,7 +185,9 @@ class MuxNamespace:
             try:
                 inode = self._inodes[inode.entries[name]]
             except KeyError:
+                self.dcache.put_negative(path)
                 raise FileNotFound(f"mux: {path!r} does not exist")
+        self.dcache.put(path, inode.ino)
         return inode
 
     def resolve_parent(self, path: str) -> tuple:
@@ -197,15 +216,18 @@ class MuxNamespace:
         initial_tier: Optional[int],
         blt: Optional[BlockLookupTable] = None,
     ) -> CollectiveInode:
+        path = vpath.normalize(path)
         parent, name = self.resolve_parent(path)
         if name in parent.entries:
             raise FileExists(f"mux: {path!r} exists")
         inode = self._alloc(FileType.REGULAR, now, mode, initial_tier, blt=blt)
         parent.entries[name] = inode.ino
         parent.mtime = parent.ctime = now
+        self.dcache.invalidate(path)  # the name exists now: drop negatives
         return inode
 
     def mkdir(self, path: str, now: float, mode: int) -> CollectiveInode:
+        path = vpath.normalize(path)
         parent, name = self.resolve_parent(path)
         if name in parent.entries:
             raise FileExists(f"mux: {path!r} exists")
@@ -213,9 +235,11 @@ class MuxNamespace:
         parent.entries[name] = inode.ino
         parent.nlink += 1
         parent.mtime = parent.ctime = now
+        self.dcache.invalidate(path)
         return inode
 
     def unlink(self, path: str, now: float) -> CollectiveInode:
+        path = vpath.normalize(path)
         parent, name = self.resolve_parent(path)
         if name not in parent.entries:
             raise FileNotFound(f"mux: {path!r} does not exist")
@@ -227,9 +251,11 @@ class MuxNamespace:
         inode.nlink -= 1
         if inode.nlink == 0:
             del self._inodes[inode.ino]
+        self.dcache.invalidate(path)
         return inode
 
     def rmdir(self, path: str, now: float) -> None:
+        path = vpath.normalize(path)
         parent, name = self.resolve_parent(path)
         if name not in parent.entries:
             raise FileNotFound(f"mux: {path!r} does not exist")
@@ -242,6 +268,9 @@ class MuxNamespace:
         del self._inodes[inode.ino]
         parent.nlink -= 1
         parent.mtime = parent.ctime = now
+        # negative entries for names that used to fail beneath this
+        # directory must not outlive it
+        self.dcache.invalidate_prefix(path)
 
     def rename(self, old_path: str, new_path: str, now: float) -> CollectiveInode:
         old_path = vpath.normalize(old_path)
@@ -278,6 +307,13 @@ class MuxNamespace:
         old_parent.mtime = old_parent.ctime = now
         new_parent.mtime = new_parent.ctime = now
         moving.ctime = now
+        if moving.is_dir:
+            # every cached descendant path changed; directory moves are
+            # rare enough that a full drop beats a prefix scan
+            self.dcache.clear()
+        else:
+            self.dcache.invalidate(old_path)
+            self.dcache.invalidate(new_path)
         return moving
 
     def readdir(self, path: str) -> List[str]:

@@ -113,6 +113,7 @@ class MigrationEngine:
         stats.migrations += 1
         self.stats.add("migrations")
         self.stats.add("blocks_moved", result.moved_blocks)
+        self.stats.add("runs_moved", result.committed_runs)
         self.stats.add("occ_attempts", result.attempts)
         self.stats.add("conflicts", result.conflicts)
         if result.lock_fallback:

@@ -253,6 +253,9 @@ class MuxFileSystem(FileSystem):
             self.cache = None
             self._cache_tier_rank = 0
         self.registry.remove(tier_id)
+        # tier paths resolved through the dentry cache must not survive
+        # the topology change
+        self.ns.dcache.clear()
         self._refresh_cache_and_meta()
 
     def _pick_refuge(self, refuges: List[Tier], need_bytes: int) -> Tier:
@@ -380,14 +383,12 @@ class MuxFileSystem(FileSystem):
     def blt_commit_move(
         self,
         inode: CollectiveInode,
-        blocks: List[int],
+        runs: List[Tuple[int, int]],
         src_tier: int,
         dst_tier: int,
     ) -> None:
-        """Atomically flip committed blocks in the BLT (called by OCC)."""
-        from repro.core.occ import _contiguous_spans
-
-        for start, count in _contiguous_spans(blocks):
+        """Atomically flip committed (start, length) runs in the BLT."""
+        for start, count in runs:
             inode.blt.map_range(start, count, dst_tier)
             if self.cache is not None:
                 self.cache.invalidate_range(inode.ino, start, count)
@@ -403,6 +404,7 @@ class MuxFileSystem(FileSystem):
 
     def create(self, path: str, mode: int = 0o644) -> FileHandle:
         self._charge_base()
+        path = vpath.normalize(path)
         now = self.clock.now()
         initial = self._place(
             PlacementRequest(path, 0, 0, 0, 0, is_append=True)
@@ -410,7 +412,7 @@ class MuxFileSystem(FileSystem):
         inode = self.ns.create_file(
             path, now, mode, initial.tier_id, blt=self.blt_factory()
         )
-        inode.rel_path = vpath.normalize(path)
+        inode.rel_path = path
         # the host file system becomes affinitive for all metadata (§2.3)
         self._tier_handle(inode, initial, create=True)
         if self._meta is not None:
@@ -420,10 +422,12 @@ class MuxFileSystem(FileSystem):
         return self._make_handle(inode, path, OpenFlags.RDWR)
 
     def _make_handle(self, inode: CollectiveInode, path: str, flags: int) -> FileHandle:
-        return FileHandle(self, inode.ino, vpath.normalize(path), flags)
+        # callers pass already-canonical paths; don't re-normalize
+        return FileHandle(self, inode.ino, path, flags)
 
     def open(self, path: str, flags: int = OpenFlags.RDWR) -> FileHandle:
         self._charge_base()
+        path = vpath.normalize(path)
         self.check_flags(flags)
         try:
             inode = self.ns.resolve(path)
@@ -468,12 +472,14 @@ class MuxFileSystem(FileSystem):
 
     def rename(self, old_path: str, new_path: str) -> None:
         self._charge_base()
-        if vpath.normalize(old_path) == vpath.normalize(new_path):
+        old_path = vpath.normalize(old_path)
+        new_path = vpath.normalize(new_path)
+        if old_path == new_path:
             self.ns.resolve(old_path)  # must exist; successful no-op
             return
         now = self.clock.now()
         moving = self.ns.rename(old_path, new_path, now)
-        self._rename_backing(moving, vpath.normalize(new_path))
+        self._rename_backing(moving, new_path)
         if self._meta is not None:
             self._meta.note(2)
             self._meta.flush()
@@ -505,8 +511,9 @@ class MuxFileSystem(FileSystem):
 
     def mkdir(self, path: str, mode: int = 0o755) -> None:
         self._charge_base()
+        path = vpath.normalize(path)
         inode = self.ns.mkdir(path, self.clock.now(), mode)
-        inode.rel_path = vpath.normalize(path)
+        inode.rel_path = path
         if self._meta is not None:
             self._meta.note(1)
             self._meta.flush()
@@ -514,9 +521,10 @@ class MuxFileSystem(FileSystem):
 
     def rmdir(self, path: str) -> None:
         self._charge_base()
+        path = vpath.normalize(path)
         self.ns.rmdir(path, self.clock.now())
         for tier in self.registry.ordered():
-            full = vpath.join(tier.mount, vpath.normalize(path).lstrip("/"))
+            full = vpath.join(tier.mount, path.lstrip("/"))
             if self.vfs.exists(full):
                 self.vfs.rmdir(full)
         if self._meta is not None:
@@ -783,7 +791,9 @@ class MuxFileSystem(FileSystem):
             seg_last = (seg_off + len(seg_data) - 1) // bs
             inode.blt.map_range(seg_first, seg_last - seg_first + 1, tier_id)
             if inode.migration_active:
-                inode.dirty_during_migration.update(range(seg_first, seg_last + 1))
+                inode.dirty_during_migration.add_range(
+                    seg_first, seg_last - seg_first + 1
+                )
             if self.cache is not None:
                 self.cache.invalidate_range(
                     inode.ino, seg_first, seg_last - seg_first + 1

@@ -21,6 +21,15 @@ Protocol, as the paper describes it:
    step — no user operation can interleave — guaranteeing completion in
    finite time and a bounded replication lag.
 
+The whole protocol operates on *runs* — sorted, disjoint (start, length)
+block extents — never on per-block lists.  Real migrations move long
+contiguous extents, so the clean-set/conflict/retry bookkeeping is
+O(runs) interval algebra (see :mod:`repro.core.intervals`) instead of
+O(blocks) set membership.  The simulated charge sequence is unchanged:
+copies were always issued span-at-a-time, and the dirty intervals recorded
+by the write path produce exactly the per-block clean set of the scalar
+protocol.
+
 The copy loop yields between chunks, so tests can interleave adversarial
 user writes at every step via :func:`repro.sim.tasks.run_interleaved`.
 """
@@ -28,9 +37,15 @@ user writes at every step via :func:`repro.sim.tasks.run_interleaved`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, List, Protocol, Set
+from typing import Generator, List, Protocol, Tuple
 
 from repro.core import calibration as cal
+from repro.core.intervals import (
+    Run,
+    normalize_runs,
+    runs_length,
+    subtract_runs,
+)
 from repro.core.metadata import CollectiveInode
 from repro.errors import NoSpace
 from repro.sim.clock import SimClock
@@ -58,7 +73,7 @@ class MigrationIo(Protocol):
     def tier_fsync(self, inode: CollectiveInode, tier_id: int) -> None: ...
 
     def blt_commit_move(
-        self, inode: CollectiveInode, blocks: List[int], src_tier: int, dst_tier: int
+        self, inode: CollectiveInode, runs: List[Run], src_tier: int, dst_tier: int
     ) -> None: ...
 
 
@@ -74,6 +89,8 @@ class MigrationResult:
     #: blocks that no longer lived on the source when we looked (already
     #: moved or rewritten elsewhere) — skipped, not an error
     skipped_blocks: int = 0
+    #: contiguous runs committed (each run = one BLT flip + one hole punch)
+    committed_runs: int = 0
     #: the destination ran out of space; the movement aborted safely
     #: (source copies untouched, BLT unchanged for unmoved blocks)
     aborted_no_space: bool = False
@@ -107,8 +124,8 @@ class OccSynchronizer:
         result = MigrationResult()
         if src_tier == dst_tier or count <= 0:
             return result
-        targets = self._blocks_on_src(inode, block_start, count, src_tier)
-        result.skipped_blocks = count - len(targets)
+        targets = self._runs_on_src(inode, [(block_start, count)], src_tier)
+        result.skipped_blocks = count - runs_length(targets)
 
         attempts = 0 if self.force_lock else cal.OCC_MAX_RETRIES
         for _ in range(attempts):
@@ -126,7 +143,7 @@ class OccSynchronizer:
 
             # -- copy phase (yields between chunks) --------------------------
             try:
-                yield from self._copy_blocks(inode, targets, src_tier, dst_tier)
+                yield from self._copy_runs(inode, targets, src_tier, dst_tier)
             except NoSpace:
                 # destination full: abort safely — nothing committed yet,
                 # so user data still lives (only) on the source
@@ -140,24 +157,24 @@ class OccSynchronizer:
             # -- validate + commit -------------------------------------------
             inode.version += 1
             inode.migration_active = False
-            dirty = set(inode.dirty_during_migration)
+            dirty = inode.dirty_during_migration.runs()
             inode.dirty_during_migration.clear()
             raced = inode.version != version_at_start + 1
             if raced:
                 # another movement interleaved; treat everything as suspect
-                dirty.update(targets)
-            clean = [
-                b
-                for b in targets
-                if b not in dirty and inode.blt.lookup(b) == src_tier
-            ]
+                dirty = targets
+            # clean = (targets still on the source) minus dirty writes
+            clean = subtract_runs(
+                self._runs_on_src(inode, targets, src_tier), dirty
+            )
             self._commit(inode, clean, src_tier, dst_tier, result)
-            conflicted = [b for b in targets if b not in clean]
-            result.conflicts += len(conflicted)
-            if conflicted:
-                self.stats.add("conflicts", len(conflicted))
+            conflicted = subtract_runs(targets, clean)
+            conflict_blocks = runs_length(conflicted)
+            result.conflicts += conflict_blocks
+            if conflict_blocks:
+                self.stats.add("conflicts", conflict_blocks)
             # retry only blocks that still live on the source
-            targets = [b for b in conflicted if inode.blt.lookup(b) == src_tier]
+            targets = self._runs_on_src(inode, conflicted, src_tier)
 
         if targets:
             # -- lock-based fallback: single atomic step ----------------------
@@ -166,7 +183,7 @@ class OccSynchronizer:
             self.io.clock.advance_ns(cal.LOCK_FALLBACK_NS)
             inode.locked = True
             try:
-                for _ in self._copy_blocks(inode, targets, src_tier, dst_tier):
+                for _ in self._copy_runs(inode, targets, src_tier, dst_tier):
                     pass  # no yields escape: the copy is atomic under the lock
                 self._commit(inode, targets, src_tier, dst_tier, result)
             except NoSpace:
@@ -178,25 +195,27 @@ class OccSynchronizer:
 
     # -- helpers ---------------------------------------------------------------
 
-    def _blocks_on_src(
-        self, inode: CollectiveInode, block_start: int, count: int, src_tier: int
-    ) -> List[int]:
-        blocks: List[int] = []
-        for run_start, run_len, tier in inode.blt.runs(block_start, count):
-            if tier == src_tier:
-                blocks.extend(range(run_start, run_start + run_len))
-        return blocks
+    def _runs_on_src(
+        self, inode: CollectiveInode, runs: List[Run], src_tier: int
+    ) -> List[Run]:
+        """The sub-runs of ``runs`` whose blocks live on ``src_tier`` now."""
+        found: List[Run] = []
+        for start, length in runs:
+            for run_start, run_len, tier in inode.blt.runs(start, length):
+                if tier == src_tier:
+                    found.append((run_start, run_len))
+        return normalize_runs(found)
 
-    def _copy_blocks(
+    def _copy_runs(
         self,
         inode: CollectiveInode,
-        blocks: List[int],
+        runs: List[Run],
         src_tier: int,
         dst_tier: int,
     ) -> Generator[None, None, None]:
-        """Copy blocks in contiguous spans, chunked; yields between chunks."""
+        """Copy runs chunk-by-chunk; yields between chunks."""
         block_size = self.io.block_size
-        for span_start, span_len in _contiguous_spans(blocks):
+        for span_start, span_len in runs:
             copied = 0
             while copied < span_len:
                 chunk = min(cal.MIGRATION_CHUNK_BLOCKS, span_len - copied)
@@ -212,30 +231,37 @@ class OccSynchronizer:
     def _commit(
         self,
         inode: CollectiveInode,
-        blocks: List[int],
+        runs: List[Run],
         src_tier: int,
         dst_tier: int,
         result: MigrationResult,
     ) -> None:
-        """Atomically flip clean blocks to dst and punch the src copies.
+        """Atomically flip clean runs to dst and punch the src copies.
 
         The destination copy is made durable *before* the source copy is
         released — otherwise a crash between punch and writeback could
         lose the only copy of the data.
         """
-        if not blocks:
+        if not runs:
             return
         self.io.tier_fsync(inode, dst_tier)
-        self.io.blt_commit_move(inode, blocks, src_tier, dst_tier)
-        for span_start, span_len in _contiguous_spans(blocks):
+        self.io.blt_commit_move(inode, runs, src_tier, dst_tier)
+        for span_start, span_len in runs:
             self.io.tier_punch(inode, src_tier, span_start, span_len)
-        result.moved_blocks += len(blocks)
-        result.bytes_moved += len(blocks) * self.io.block_size
-        self.stats.add("blocks_committed", len(blocks))
+        moved = runs_length(runs)
+        result.moved_blocks += moved
+        result.bytes_moved += moved * self.io.block_size
+        result.committed_runs += len(runs)
+        self.stats.add("blocks_committed", moved)
+        self.stats.add("runs_committed", len(runs))
 
 
 def _contiguous_spans(blocks: List[int]) -> List[tuple]:
-    """Group a sorted block list into (start, length) spans."""
+    """Group a (possibly unsorted) block list into (start, length) spans.
+
+    Kept for callers that still hold per-block lists; the synchronizer
+    itself works on runs end to end.
+    """
     spans: List[tuple] = []
     if not blocks:
         return spans

@@ -137,6 +137,7 @@ class NativeFileSystem(FileSystem):
 
     def create(self, path: str, mode: int = 0o644) -> FileHandle:
         self._charge_op()
+        path = vpath.normalize(path)
         parent, name = self._resolve_parent(path)
         if name in parent.entries:
             raise FileExists(f"{self.fs_name}: {path!r} exists")
@@ -163,6 +164,7 @@ class NativeFileSystem(FileSystem):
 
     def open(self, path: str, flags: int = OpenFlags.RDWR) -> FileHandle:
         self._charge_op()
+        path = vpath.normalize(path)
         self.check_flags(flags)
         try:
             inode = self._resolve(path)
@@ -181,7 +183,8 @@ class NativeFileSystem(FileSystem):
         return handle
 
     def _make_handle(self, inode: Inode, path: str, flags: int) -> FileHandle:
-        handle = FileHandle(self, inode.ino, vpath.normalize(path), flags)
+        # create/open hand us canonical paths; don't re-normalize
+        handle = FileHandle(self, inode.ino, path, flags)
         self._open_handles[inode.ino] = self._open_handles.get(inode.ino, 0) + 1
         return handle
 

@@ -15,12 +15,36 @@ SEP = "/"
 ROOT = "/"
 
 
+def is_canonical(path: str) -> bool:
+    """True if ``path`` is already in canonical form.
+
+    Canonical paths are absolute, have no empty / ``.`` / ``..``
+    components and no trailing separator (except the root itself).  The
+    check is a handful of substring scans, far cheaper than a split +
+    rejoin, so hot paths that mostly see already-normalized strings can
+    skip re-normalizing (paths are re-normalized 2-3x per operation as
+    they cross the VFS, Mux and native-FS layers).
+    """
+    if path == ROOT:
+        return True
+    if not path or path[0] != SEP or path[-1] == SEP:
+        return False
+    if "//" in path or "/./" in path or "/../" in path:
+        return False
+    if path.endswith("/.") or path.endswith("/.."):
+        return False
+    return True
+
+
 def normalize(path: str) -> str:
     """Return the canonical absolute form of ``path``.
 
-    Raises :class:`InvalidArgument` for relative paths or ``..`` escaping
-    the root.
+    Already-canonical strings are returned unchanged (identity, no
+    allocation).  Raises :class:`InvalidArgument` for relative paths or
+    ``..`` escaping the root.
     """
+    if is_canonical(path):
+        return path
     if not path or not path.startswith(SEP):
         raise InvalidArgument(f"path must be absolute: {path!r}")
     parts: List[str] = []
