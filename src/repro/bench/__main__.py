@@ -2,8 +2,10 @@
 and prints the paper-vs-measured tables recorded in EXPERIMENTS.md.
 
 Subcommands: ``wallclock`` (host-CPU trajectory harness + ``--smoke`` CI
-drift guard) and ``profile`` (cProfile hotspot report for any registered
-wall-clock workload)."""
+drift guard), ``profile`` (cProfile hotspot report for any registered
+wall-clock workload) and ``trace`` (record a mixed workload under fault
+injection, print per-migration retry/backoff telemetry, replay against a
+healthy stack)."""
 
 from __future__ import annotations
 
@@ -22,6 +24,10 @@ def main() -> int:
         from repro.bench.profile import main as profile_main
 
         return profile_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.bench.trace import main as trace_main
+
+        return trace_main(argv[1:])
     fast = "--fast" in argv
     print(run_all(fast=fast))
     return 0

@@ -230,3 +230,93 @@ def replay(trace: Trace, fs: FileSystem, clock: SimClock) -> ReplayResult:
             failed += 1
     elapsed = (clock.now_ns - start_ns) / 1e9
     return ReplayResult(len(trace), elapsed, failed)
+
+
+# ---------------------------------------------------------------------------
+# CLI: ``python -m repro.bench trace``
+# ---------------------------------------------------------------------------
+#
+# Records a seeded mixed workload against a (optionally fault-injected)
+# Mux stack, drives migrations through ``migrate_now``, and prints the
+# retry/backoff telemetry each migration accumulated — then replays the
+# same trace against a healthy stack so the cost of running degraded is a
+# number, not an anecdote.
+
+
+def _record_mixed(ops: int, seed: int, faulty: bool):
+    from repro.bench.workloads import metadata_churn, metadata_tree
+    from repro.core.policy import MigrationOrder
+    from repro.devices.faults import FaultConfig
+    from repro.stack import build_stack
+
+    faults = None
+    if faulty:
+        faults = {
+            "ssd": FaultConfig(
+                read_error_p=0.05, write_error_p=0.25, transient_fraction=1.0
+            )
+        }
+    stack = build_stack(faults=faults, fault_seed=seed)
+    recorder = TraceRecorder(stack.mux)
+    recorder.mkdir("/t")
+    blob = b"\xa5" * 65536
+    handles = []
+    for i in range(6):
+        handle = recorder.create(f"/t/f{i}")
+        recorder.write(handle, 0, blob)
+        handles.append(handle)
+    live = metadata_tree(recorder, files=40)
+    metadata_churn(recorder, stack.clock, files=40, operations=ops, live=live)
+    blocks = len(blob) // stack.mux.block_size
+    pm, ssd = stack.tier_ids["pm"], stack.tier_ids["ssd"]
+    migrations = []
+    for i, handle in enumerate(handles):
+        result = stack.mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 0, blocks, pm, ssd, reason="trace")
+        )
+        migrations.append((f"/t/f{i}", result))
+    for handle in handles:
+        recorder.close(handle)
+    return stack, recorder.trace, migrations
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import sys
+
+    from repro.stack import build_stack
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    faulty = "--no-faults" not in argv
+    ops = 600
+    if "--ops" in argv:
+        ops = int(argv[argv.index("--ops") + 1])
+    seed = 2025
+    if "--seed" in argv:
+        seed = int(argv[argv.index("--seed") + 1])
+
+    stack, trace, migrations = _record_mixed(ops, seed, faulty)
+    mix = ", ".join(f"{op}={n}" for op, n in sorted(trace.op_mix().items()))
+    print(f"trace: recorded {len(trace)} ops ({mix})")
+    print(f"trace: {trace.bytes_written} bytes written, {trace.bytes_read} read")
+
+    label = "faulty ssd" if faulty else "no faults"
+    print(f"migrations ({label}):")
+    for path, result in migrations:
+        print(
+            f"  {path}: moved={result.moved_blocks} retries={result.retries} "
+            f"backoff_ns={result.backoff_ns} gave_up={result.gave_up}"
+        )
+    engine = stack.mux.engine.stats
+    print(
+        f"engine totals: migrations={engine.get('migrations')} "
+        f"retries={engine.get('retries')} backoff_ns={engine.get('backoff_ns')} "
+        f"gave_up={engine.get('gave_up')}"
+    )
+
+    healthy = build_stack()
+    result = replay(trace, healthy.mux, healthy.clock)
+    print(
+        f"replay on healthy stack: {result.operations} ops in "
+        f"{result.elapsed_s:.6f} sim-s ({result.failed_operations} failed)"
+    )
+    return 0

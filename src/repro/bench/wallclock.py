@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.bench.harness import build_strata
 from repro.bench.macro import fileserver, varmail, webserver
 from repro.bench.workloads import (
+    fault_storm,
     hot_set_reads,
     make_file,
     metadata_churn,
@@ -43,6 +44,7 @@ from repro.bench.workloads import (
     sequential_read,
     sequential_write,
 )
+from repro.devices.faults import FaultConfig
 from repro.stack import Stack, build_stack
 
 MIB = 1024 * 1024
@@ -249,6 +251,34 @@ def _wl_migration_churn(smoke: bool) -> Dict[str, object]:
     }
 
 
+def _wl_fault_storm(smoke: bool) -> Dict[str, object]:
+    files, ops = (8, 150) if smoke else (24, 1200)
+    stack = build_stack(
+        faults={
+            "ssd": FaultConfig(
+                read_error_p=0.05,
+                write_error_p=0.25,
+                transient_fraction=1.0,
+                torn_write_p=0.1,
+            ),
+            "hdd": FaultConfig(latency_spike_p=0.2),
+        },
+        fault_seed=2025,
+    )
+    t0 = time.perf_counter()
+    sim0 = stack.clock.now_ns
+    events = fault_storm(stack, operations=ops, files=files)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "ops": ops,
+        "bytes": 0,
+        "sim_elapsed_s": (stack.clock.now_ns - sim0) / 1e9,
+        "events": events,
+        "fingerprint": _mux_fingerprint(stack),
+    }
+
+
 def _wl_strata_fileserver(smoke: bool) -> Dict[str, object]:
     files, ops = (8, 100) if smoke else (20, 300)
     strata = build_strata()
@@ -273,6 +303,7 @@ WORKLOADS: List[Tuple[str, Callable[[bool], Dict[str, object]]]] = [
     ("varmail", _wl_varmail),
     ("metadata_churn", _wl_metadata_churn),
     ("migration_churn", _wl_migration_churn),
+    ("fault_storm", _wl_fault_storm),
     ("strata_fileserver", _wl_strata_fileserver),
 ]
 

@@ -9,7 +9,7 @@ machine-independent and deterministic for a given seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.sim.clock import SimClock
 from repro.sim.rng import DeterministicRng
@@ -348,3 +348,113 @@ def migration_churn(
     for handle in handles:
         mux.close(handle)
     return ThroughputResult(moved_bytes, elapsed)
+
+
+def fault_storm(
+    stack,
+    operations: int = 1200,
+    files: int = 24,
+    payload: int = 64 * 1024,
+    seed: int = 29,
+) -> Dict[str, int]:
+    """Degraded-mode torture mix: survive a failing tier mid-workload.
+
+    Requires a stack built with fault injectors on the ``ssd`` tier (and
+    optionally latency spikes on ``hdd``).  Four phases over one seeded
+    schedule:
+
+    1. **populate + demote** — create files on the fast tier, migrate a
+       slice to the faulty SSD; its transient write errors exercise the
+       retry/backoff path inside the run-level OCC migration;
+    2. **offline window** — the SSD device drops dead mid-run: reads of
+       SSD-resident blocks fail with ``EIO``, reads elsewhere and all new
+       writes keep succeeding (placement routes around the dead tier);
+    3. **recovery** — the device comes back, the tier is drained via
+       ``evacuate`` and re-admitted as healthy;
+    4. **aftershock** — metadata churn plus HDD reads under latency
+       spikes prove the stack runs clean again.
+
+    Returns the event counts; all randomness is seeded, so for a fixed
+    (seed, fault_seed) pair the schedule — and therefore the simulated
+    fingerprint — is bit-identical across runs.
+    """
+    from repro.core.policy import MigrationOrder
+    from repro.errors import FsError
+
+    mux = stack.mux
+    rng = DeterministicRng(seed)
+    pm, ssd, hdd = (stack.tier_ids[n] for n in ("pm", "ssd", "hdd"))
+    ssd_injector = stack.injectors["ssd"]
+    bs = mux.block_size
+    blocks = payload // bs
+    counts: Dict[str, int] = {
+        "eio_reads": 0,
+        "degraded_reads_ok": 0,
+        "degraded_writes_ok": 0,
+        "migrations": 0,
+        "evacuated_files": 0,
+        "retries": 0,
+    }
+
+    # -- phase 1: populate, then demote every other file onto the faulty SSD
+    if not mux.exists("/storm"):
+        mux.mkdir("/storm")
+    blob = b"\xa5" * payload
+    handles = []
+    for i in range(files):
+        handle = mux.create(f"/storm/f{i:03d}")
+        mux.write(handle, 0, blob)
+        handles.append(handle)
+    for i in range(0, files, 2):
+        result = mux.engine.migrate_now(
+            MigrationOrder(handles[i].ino, 0, blocks, pm, ssd, reason="storm")
+        )
+        counts["migrations"] += 1
+        counts["retries"] += result.retries
+
+    # -- phase 2: offline window ------------------------------------------------
+    phase_ops = max(1, operations // 3)
+    ssd_injector.set_offline()
+    # the native FS page cache can mask a dead device for a while; the
+    # health monitor (here: the admin API) is what declares the tier dead
+    mux.mark_tier_offline(ssd)
+    created = 0
+    for _ in range(phase_ops):
+        if rng.random() < 0.6:
+            i = rng.randint(0, files - 1)
+            offset = rng.randint(0, blocks - 1) * bs
+            try:
+                mux.read(handles[i], offset, 4096)
+                counts["degraded_reads_ok"] += 1
+            except FsError:
+                counts["eio_reads"] += 1
+        else:
+            handle = mux.create(f"/storm/n{created:05d}")
+            created += 1
+            mux.write(handle, 0, b"\x5a" * 4096)
+            mux.close(handle)
+            counts["degraded_writes_ok"] += 1
+
+    # -- phase 3: recovery — drain the suspect tier, re-admit it -----------------
+    ssd_injector.set_online()
+    drained = mux.evacuate(ssd)
+    counts["evacuated_files"] = drained["files_drained"]
+    counts["retries"] += drained["retries"]
+    mux.mark_tier_online(ssd)
+
+    # -- phase 4: aftershock — churn plus HDD reads under latency spikes --------
+    for i in range(1, min(files, 7), 2):
+        result = mux.engine.migrate_now(
+            MigrationOrder(handles[i].ino, 0, blocks, pm, hdd, reason="storm-cold")
+        )
+        counts["migrations"] += 1
+        counts["retries"] += result.retries
+    metadata_churn(mux, stack.clock, files=16, operations=phase_ops)
+    for _ in range(phase_ops):
+        i = rng.choice([1, 3, 5])
+        offset = rng.randint(0, blocks - 1) * bs
+        mux.read(handles[i], offset, 4096)
+    mux.engine.drain()
+    for handle in handles:
+        mux.close(handle)
+    return counts

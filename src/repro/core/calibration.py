@@ -103,6 +103,19 @@ OCC_MAX_RETRIES = 3
 LOCK_FALLBACK_NS = 900
 
 # ---------------------------------------------------------------------------
+# Degraded mode (fault injection)
+# ---------------------------------------------------------------------------
+
+#: First retry delay after a transient device error (simulated ns).
+FAULT_RETRY_BASE_NS = 50_000
+
+#: Exponential backoff multiplier between transient-fault retries.
+FAULT_BACKOFF_MULT = 2
+
+#: Transient-fault retries before the operation gives up with EIO.
+FAULT_MAX_RETRIES = 6
+
+# ---------------------------------------------------------------------------
 # Strata baseline (§3.1)
 # ---------------------------------------------------------------------------
 

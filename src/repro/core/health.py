@@ -1,0 +1,98 @@
+"""Per-tier health state machine for degraded-mode tiering.
+
+Each registered tier carries a :class:`TierHealth` that Mux drives from
+observed I/O outcomes: consecutive errors walk a tier from HEALTHY through
+SUSPECT to OFFLINE, and consecutive successes walk a SUSPECT tier back to
+HEALTHY.  OFFLINE is sticky — a device that the injector (or an operator)
+declared dead only returns via an explicit :meth:`TierHealth.mark_online`,
+mirroring how real arrays require an admin re-admit after a drive drop.
+
+All bookkeeping is pure host-side Python: no simulated-time charges and no
+rng draws, so attaching health tracking never perturbs fingerprints.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+#: consecutive errors before a HEALTHY tier is demoted to SUSPECT
+HEALTH_SUSPECT_ERRORS = 3
+#: consecutive errors before a SUSPECT tier is demoted to OFFLINE
+HEALTH_OFFLINE_ERRORS = 8
+#: consecutive successes before a SUSPECT tier is promoted back to HEALTHY
+HEALTH_RECOVERY_SUCCESSES = 16
+
+
+class HealthState(Enum):
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    OFFLINE = "offline"
+
+
+class TierHealth:
+    """Consecutive-outcome counters driving one tier's health state."""
+
+    __slots__ = ("state", "consecutive_errors", "consecutive_successes", "total_errors")
+
+    def __init__(self) -> None:
+        self.state = HealthState.HEALTHY
+        self.consecutive_errors = 0
+        self.consecutive_successes = 0
+        self.total_errors = 0
+
+    # -- observations -----------------------------------------------------------
+
+    def record_success(self) -> None:
+        if self.state is HealthState.HEALTHY and self.consecutive_errors == 0:
+            return  # hot path: nothing to update
+        self.consecutive_errors = 0
+        if self.state is HealthState.SUSPECT:
+            self.consecutive_successes += 1
+            if self.consecutive_successes >= HEALTH_RECOVERY_SUCCESSES:
+                self.state = HealthState.HEALTHY
+                self.consecutive_successes = 0
+
+    def record_error(self) -> None:
+        self.total_errors += 1
+        self.consecutive_errors += 1
+        self.consecutive_successes = 0
+        if self.state is HealthState.HEALTHY:
+            if self.consecutive_errors >= HEALTH_SUSPECT_ERRORS:
+                self.state = HealthState.SUSPECT
+        elif self.state is HealthState.SUSPECT:
+            if self.consecutive_errors >= HEALTH_OFFLINE_ERRORS:
+                self.state = HealthState.OFFLINE
+
+    # -- administrative transitions ---------------------------------------------
+
+    def mark_offline(self) -> None:
+        self.state = HealthState.OFFLINE
+        self.consecutive_successes = 0
+
+    def mark_suspect(self) -> None:
+        self.state = HealthState.SUSPECT
+        self.consecutive_errors = 0
+        self.consecutive_successes = 0
+
+    def mark_online(self) -> None:
+        """Admin re-admit: device returns as HEALTHY with clean counters."""
+        self.state = HealthState.HEALTHY
+        self.consecutive_errors = 0
+        self.consecutive_successes = 0
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def is_offline(self) -> bool:
+        return self.state is HealthState.OFFLINE
+
+    @property
+    def accepts_writes(self) -> bool:
+        """New-write placement avoids both SUSPECT and OFFLINE tiers."""
+        return self.state is HealthState.HEALTHY
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TierHealth({self.state.value}, errs={self.consecutive_errors}, "
+            f"total={self.total_errors})"
+        )

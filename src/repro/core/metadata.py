@@ -110,7 +110,18 @@ class CollectiveInode:
     def is_dir(self) -> bool:
         return self.file_type is FileType.DIRECTORY
 
-    def stat(self, blocks: int = 0) -> Stat:
+    def stat(
+        self, blocks: int = 0, stale_attrs: Optional[List[str]] = None
+    ) -> Stat:
+        """Attributes from the collective-inode cache.
+
+        ``stale_attrs`` lists attributes whose affinitive file system is
+        offline: the cached value is served anyway (affinity failover) but
+        flagged so callers can distinguish degraded answers.
+        """
+        extra = {"affinity": self.affinity.owners(), "version": self.version}
+        if stale_attrs:
+            extra["stale_attrs"] = list(stale_attrs)
         return Stat(
             ino=self.ino,
             file_type=self.file_type,
@@ -121,7 +132,7 @@ class CollectiveInode:
             ctime=self.ctime,
             mode=self.mode,
             nlink=self.nlink,
-            extra={"affinity": self.affinity.owners(), "version": self.version},
+            extra=extra,
         )
 
 

@@ -96,8 +96,13 @@ class MigrationEngine:
 
     def _run_tracked(self, inode: CollectiveInode, order: MigrationOrder):
         """Wrap the OCC generator with per-pair accounting."""
-        # capacity gate: never start a movement the destination cannot hold
+        # health gate: never start a movement toward a dead tier
         dst = self._mux.registry.get(order.dst_tier)
+        if dst.health.is_offline:
+            self.stats.add("skipped_offline")
+            self.stats.add("gave_up")
+            return MigrationResult(gave_up=True)
+        # capacity gate: never start a movement the destination cannot hold
         need = min(order.count, inode.blt.blocks_on(order.src_tier))
         if not self._mux._tier_has_room(dst, need * self._mux.block_size):
             self.stats.add("skipped_no_space")
@@ -105,9 +110,15 @@ class MigrationEngine:
         pair = (order.src_tier, order.dst_tier)
         stats = self.pair_stats.setdefault(pair, PairStats())
         started_ns = self._mux.clock.now_ns
+        # transient-fault retry/backoff happens inside the mux's tier I/O;
+        # the deltas across the movement are this migration's share
+        retries_before = self._mux.stats.get("fault_retries")
+        backoff_before = self._mux.stats.get("fault_backoff_ns")
         result = yield from self.occ.migrate(
             inode, order.block_start, order.count, order.src_tier, order.dst_tier
         )
+        result.retries = self._mux.stats.get("fault_retries") - retries_before
+        result.backoff_ns = self._mux.stats.get("fault_backoff_ns") - backoff_before
         stats.bytes_moved += result.bytes_moved
         stats.busy_ns += self._mux.clock.now_ns - started_ns
         stats.migrations += 1
@@ -116,6 +127,10 @@ class MigrationEngine:
         self.stats.add("runs_moved", result.committed_runs)
         self.stats.add("occ_attempts", result.attempts)
         self.stats.add("conflicts", result.conflicts)
+        self.stats.add("retries", result.retries)
+        self.stats.add("backoff_ns", result.backoff_ns)
+        if result.gave_up:
+            self.stats.add("gave_up")
         if result.lock_fallback:
             self.stats.add("lock_fallbacks")
         return result

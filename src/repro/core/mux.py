@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core import calibration as cal
 from repro.core.blt import BlockLookupTable, ExtentBlt
 from repro.core.cache import ScmCacheManager
+from repro.core.health import HealthState
 from repro.core.metadata import CollectiveInode, MuxNamespace
 from repro.core.migration import MigrationEngine
 from repro.core.policy import (
@@ -44,12 +45,15 @@ from repro.core.registry import Tier, TierRegistry
 from repro.core.scheduler import IoScheduler, SubRequest
 from repro.devices.profile import DeviceKind, DeviceProfile
 from repro.errors import (
+    DeviceIoError,
+    DeviceOffline,
     FileNotFound,
     InvalidArgument,
     IsADirectory,
     NoSpace,
     PolicyError,
     ReproError,
+    TierUnavailable,
 )
 from repro.fs.nova import NovaFileSystem
 from repro.sim.clock import SimClock
@@ -105,9 +109,28 @@ class MuxMetaWriter:
         payload = bytes(self._buffered * cal.META_RECORD_BYTES)
         if self._offset + len(payload) > self.MAX_BYTES:
             self._offset = 0
-        self.fs.write(self._handle, self._offset, payload)
-        if durable:
-            self.fs.fsync(self._handle)
+        delay = cal.FAULT_RETRY_BASE_NS
+        for attempt in range(cal.FAULT_MAX_RETRIES + 1):
+            try:
+                self.fs.write(self._handle, self._offset, payload)
+                if durable:
+                    self.fs.fsync(self._handle)
+                break
+            except DeviceIoError as exc:
+                if exc.transient and attempt < cal.FAULT_MAX_RETRIES:
+                    self.stats.add("flush_retries")
+                    self.clock.advance_ns(delay)
+                    delay *= cal.FAULT_BACKOFF_MULT
+                    continue
+                # the bookkeeping tier is failing hard: keep the records
+                # buffered and let a later flush retry — lazy sync already
+                # tolerates a durability window, and a user op must not
+                # fail because Mux's own metafile append did
+                self.stats.add("flush_deferred")
+                return
+            except DeviceOffline:
+                self.stats.add("flush_deferred")
+                return
         self._offset += len(payload)
         self._buffered = 0
         self.stats.add("flushes")
@@ -345,40 +368,115 @@ class MuxFileSystem(FileSystem):
                 self.vfs.close(handle)
         inode.tier_handles.clear()
 
+    # -- degraded-mode plumbing -------------------------------------------------
+
+    def _tier_io(self, tier: Tier, op):
+        """Run one tier I/O closure with health tracking and bounded retry.
+
+        Transient injected errors are retried up to ``FAULT_MAX_RETRIES``
+        times with exponential simulated-time backoff; persistent errors,
+        device-offline rejections, and exhausted retries surface as
+        :class:`TierUnavailable` (EIO) after recording the failure on the
+        tier's health state machine.  On the healthy path this adds one
+        ``is_offline`` check and one ``record_success`` call — no clock
+        charges, no rng draws, so fingerprints are untouched.
+        """
+        health = tier.health
+        delay = cal.FAULT_RETRY_BASE_NS
+        attempt = 0
+        while True:
+            if health.is_offline:
+                self.stats.add("io_rejected_offline")
+                raise TierUnavailable(f"tier {tier.name!r} is offline")
+            try:
+                result = op()
+            except DeviceOffline as exc:
+                health.mark_offline()
+                self.stats.add("io_rejected_offline")
+                raise TierUnavailable(str(exc)) from exc
+            except DeviceIoError as exc:
+                health.record_error()
+                if health.is_offline:
+                    raise TierUnavailable(str(exc)) from exc
+                if exc.transient and attempt < cal.FAULT_MAX_RETRIES:
+                    attempt += 1
+                    self.stats.add("fault_retries")
+                    self.stats.add("fault_backoff_ns", delay)
+                    self.clock.advance_ns(delay)
+                    delay *= cal.FAULT_BACKOFF_MULT
+                    continue
+                self.stats.add("fault_gave_up")
+                raise TierUnavailable(str(exc)) from exc
+            else:
+                health.record_success()
+                return result
+
+    def mark_tier_offline(self, tier_id: int) -> None:
+        """Administratively fail a tier; its blocks return EIO until re-online."""
+        self.registry.get(tier_id).health.mark_offline()
+
+    def mark_tier_online(self, tier_id: int) -> None:
+        """Re-admit a tier after repair; health returns to HEALTHY."""
+        self.registry.get(tier_id).health.mark_online()
+
+    def _writable_tiers(self) -> List[Tier]:
+        """Registered tiers eligible for new writes, fastest first."""
+        ordered = self.registry.ordered()
+        healthy = [t for t in ordered if t.health.state is HealthState.HEALTHY]
+        if healthy:
+            return healthy
+        return [t for t in ordered if not t.health.is_offline]
+
     # -- raw per-tier I/O (used by the OCC synchronizer) -----------------------
 
     def tier_read_raw(
         self, inode: CollectiveInode, tier_id: int, offset: int, length: int
     ) -> bytes:
-        self.clock.advance_ns(cal.MUX_DISPATCH_NS)
         tier = self.registry.get(tier_id)
-        handle = self._tier_handle(inode, tier)
-        data = self.vfs.read(handle, offset, length)
-        if len(data) < length:  # sparse tail: the hole reads as zeros
-            data += bytes(length - len(data))
-        return data
+
+        def op() -> bytes:
+            self.clock.advance_ns(cal.MUX_DISPATCH_NS)
+            handle = self._tier_handle(inode, tier)
+            data = self.vfs.read(handle, offset, length)
+            if len(data) < length:  # sparse tail: the hole reads as zeros
+                data += bytes(length - len(data))
+            return data
+
+        return self._tier_io(tier, op)
 
     def tier_write_raw(
         self, inode: CollectiveInode, tier_id: int, offset: int, data: bytes
     ) -> None:
-        self.clock.advance_ns(cal.MUX_DISPATCH_NS)
         tier = self.registry.get(tier_id)
-        handle = self._tier_handle(inode, tier)
-        self.vfs.write(handle, offset, data)
+
+        def op() -> None:
+            self.clock.advance_ns(cal.MUX_DISPATCH_NS)
+            handle = self._tier_handle(inode, tier)
+            self.vfs.write(handle, offset, data)
+
+        self._tier_io(tier, op)
 
     def tier_punch(
         self, inode: CollectiveInode, tier_id: int, block_start: int, count: int
     ) -> None:
         tier = self.registry.get(tier_id)
-        handle = self._tier_handle(inode, tier, create=False)
-        self.vfs.punch_hole(
-            handle, block_start * self.block_size, count * self.block_size
-        )
+
+        def op() -> None:
+            handle = self._tier_handle(inode, tier, create=False)
+            self.vfs.punch_hole(
+                handle, block_start * self.block_size, count * self.block_size
+            )
+
+        self._tier_io(tier, op)
 
     def tier_fsync(self, inode: CollectiveInode, tier_id: int) -> None:
         tier = self.registry.get(tier_id)
-        handle = self._tier_handle(inode, tier, create=False)
-        self.vfs.fsync(handle)
+
+        def op() -> None:
+            handle = self._tier_handle(inode, tier, create=False)
+            self.vfs.fsync(handle)
+
+        self._tier_io(tier, op)
 
     def blt_commit_move(
         self,
@@ -413,8 +511,29 @@ class MuxFileSystem(FileSystem):
             path, now, mode, initial.tier_id, blt=self.blt_factory()
         )
         inode.rel_path = path
-        # the host file system becomes affinitive for all metadata (§2.3)
-        self._tier_handle(inode, initial, create=True)
+        # the host file system becomes affinitive for all metadata (§2.3);
+        # if it fails hard (retries exhausted / offline) the creation
+        # spills to the next writable tier rather than surfacing EIO
+        placed = False
+        last_error: Optional[Exception] = None
+        for tier in [initial] + [
+            t for t in self._writable_tiers() if t.tier_id != initial.tier_id
+        ]:
+            try:
+                self._tier_io(
+                    tier, lambda t=tier: self._tier_handle(inode, t, create=True)
+                )
+                placed = True
+                break
+            except TierUnavailable as exc:
+                last_error = exc
+                self.stats.add("create_spills_fault")
+        if not placed:
+            # roll the namespace entry back: the file exists nowhere
+            self.ns.unlink(path, now)
+            raise last_error if last_error else TierUnavailable(
+                f"no tier could host {path!r}"
+            )
         if self._meta is not None:
             self._meta.note(2)
             self._meta.flush()  # namespace changes persist immediately
@@ -458,6 +577,10 @@ class MuxFileSystem(FileSystem):
         self._close_tier_handles(inode)
         for tier_id in sorted(inode.tiers_present):
             tier = self.registry.get(tier_id)
+            if tier.health.is_offline:
+                # the backing file is unreachable; fsck flags the orphan
+                self.stats.add("unlink_skipped_offline")
+                continue
             full = self._tier_path(tier, inode)
             if self.vfs.exists(full):
                 self.vfs.unlink(full)
@@ -582,6 +705,18 @@ class MuxFileSystem(FileSystem):
         plan = self.scheduler.plan(subrequests, kinds)
         self.stats.add("split_reads", max(0, len(plan) - 1))
 
+        # error-scoped degraded reads (§2.4 robustness): fail with EIO
+        # *before* dispatching anything if any needed block lives on an
+        # offline tier; requests touching only surviving tiers keep serving
+        if self.registry.any_unhealthy():
+            for req in plan:
+                if self.registry.get(req.tier_id).health.is_offline:
+                    self.stats.add("reads_failed_offline")
+                    raise TierUnavailable(
+                        f"blocks of {handle.path!r} live on offline tier "
+                        f"{self.registry.get(req.tier_id).name!r}"
+                    )
+
         out = bytearray(length)
         last_tier: Optional[int] = None
         for req in plan:
@@ -625,11 +760,15 @@ class MuxFileSystem(FileSystem):
         loop did).
         """
         if self.cache is None or not self._cacheable(tier):
-            handle = self._tier_handle(inode, tier, create=False)
-            # straight into the output buffer: one copy from tier to caller
-            self.vfs.read_into(
-                handle, req.offset, req.length, out, req.buffer_offset
-            )
+
+            def direct() -> None:
+                handle = self._tier_handle(inode, tier, create=False)
+                # straight into the output buffer: one copy tier -> caller
+                self.vfs.read_into(
+                    handle, req.offset, req.length, out, req.buffer_offset
+                )
+
+            self._tier_io(tier, direct)
             return
         bs = self.block_size
         cache = self.cache
@@ -639,11 +778,15 @@ class MuxFileSystem(FileSystem):
 
         def flush_misses(start_fb: int, n: int) -> None:
             cache.note_misses(n)
-            handle = self._tier_handle(inode, tier, create=False)
             # one read for the whole contiguous miss run, sized to the
             # file so we never ask the tier to read past EOF
             want = min(n * bs, inode.size - start_fb * bs)
-            raw = self.vfs.read(handle, start_fb * bs, want)
+
+            def fetch() -> bytes:
+                handle = self._tier_handle(inode, tier, create=False)
+                return self.vfs.read(handle, start_fb * bs, want)
+
+            raw = self._tier_io(tier, fetch)
             if len(raw) < n * bs:
                 raw += bytes(n * bs - len(raw))
             cache.put_many(ino, start_fb, raw)
@@ -762,9 +905,13 @@ class MuxFileSystem(FileSystem):
         forced = inode.pinned_tier
         if forced is None and self.qos is not None:
             forced = self.qos.placement_override(handle)
-        if forced is not None and self._tier_has_room(
-            self.registry.get(forced), len(data)
+        if forced is not None and (
+            self.registry.get(forced).health.state is not HealthState.HEALTHY
+            or not self._tier_has_room(self.registry.get(forced), len(data))
         ):
+            # a suspect/offline/full pin routes around via the policy path
+            forced = None
+        if forced is not None:
             target = self.registry.get(forced)
         else:
             target = self._place(
@@ -781,27 +928,30 @@ class MuxFileSystem(FileSystem):
 
         segments = self._segment_write(inode, offset, data, target.tier_id)
         extended = offset + len(data) > inode.size
-        last_seg_tier = segments[-1][0]
-        for index, (tier_id, seg_off, seg_data) in enumerate(segments):
+        # Phase 1: land every segment on its tier.  No BLT/cache/policy
+        # state is touched until all tier writes succeeded, so a NoSpace or
+        # dead-tier failure mid-write leaves the BLT describing exactly the
+        # pre-write file (the write is atomic at the BLT level).
+        placed: List[Tuple[int, int, int]] = []  # (tier, first_block, count)
+        for tier_id, seg_off, seg_data in segments:
             self.clock.advance_ns(cal.MUX_DISPATCH_NS)
             tier_id = self._write_segment(inode, tier_id, seg_off, seg_data)
-            if index == len(segments) - 1:
-                last_seg_tier = tier_id
             seg_first = seg_off // bs
             seg_last = (seg_off + len(seg_data) - 1) // bs
-            inode.blt.map_range(seg_first, seg_last - seg_first + 1, tier_id)
+            placed.append((tier_id, seg_first, seg_last - seg_first + 1))
+        last_seg_tier = placed[-1][0]
+        # Phase 2: commit the mapping (map_range/invalidate/on_access are
+        # all charge-free, so the fingerprint matches the fused loop)
+        for tier_id, seg_first, seg_count in placed:
+            inode.blt.map_range(seg_first, seg_count, tier_id)
             if inode.migration_active:
-                inode.dirty_during_migration.add_range(
-                    seg_first, seg_last - seg_first + 1
-                )
+                inode.dirty_during_migration.add_range(seg_first, seg_count)
             if self.cache is not None:
-                self.cache.invalidate_range(
-                    inode.ino, seg_first, seg_last - seg_first + 1
-                )
+                self.cache.invalidate_range(inode.ino, seg_first, seg_count)
             self.policy.on_access(
                 inode.ino,
                 seg_first,
-                seg_last - seg_first + 1,
+                seg_count,
                 tier_id,
                 "write",
                 self.clock.now(),
@@ -835,17 +985,24 @@ class MuxFileSystem(FileSystem):
         return tier.fs.statfs().free_bytes >= length + self._tier_reserve(tier)
 
     def _place(self, request: PlacementRequest) -> Tier:
-        """Run the placement policy, falling back down-rank when full."""
+        """Run the placement policy, falling back down-rank when full.
+
+        The fallback scan only considers writable (non-suspect,
+        non-offline) tiers, so new writes route around a failing tier even
+        when the policy's own choice ignores health.
+        """
         self.clock.advance_ns(cal.MUX_POLICY_NS)
         states = self.registry.states()
         tier_id = self.policy.place_write(request, states)
         chosen = self.registry.get(tier_id)
-        if self._tier_has_room(chosen, request.length):
+        if not chosen.health.is_offline and self._tier_has_room(
+            chosen, request.length
+        ):
             return chosen
-        for tier in self.registry.ordered():
+        for tier in self._writable_tiers():
             if tier.rank >= chosen.rank and self._tier_has_room(tier, request.length):
                 return tier
-        for tier in self.registry.ordered():
+        for tier in self._writable_tiers():
             if self._tier_has_room(tier, request.length):
                 return tier
         raise NoSpace(f"no tier has room for {request.length} bytes")
@@ -869,16 +1026,27 @@ class MuxFileSystem(FileSystem):
             for t in self.registry.ordered()
             if t.tier_id != tier_id and t.rank < self.registry.get(tier_id).rank
         ]
-        last_error: Optional[NoSpace] = None
+        last_error: Optional[Exception] = None
         for candidate in candidates:
             tier = self.registry.get(candidate)
-            seg_handle = self._tier_handle(inode, tier, create=True)
-            try:
+            if tier.health.is_offline:
+                continue  # a dead tier cannot absorb new writes
+
+            def op(t: Tier = tier) -> None:
+                seg_handle = self._tier_handle(inode, t, create=True)
                 self.vfs.write(seg_handle, seg_off, seg_data)
+
+            try:
+                self._tier_io(tier, op)
                 return candidate
             except NoSpace as exc:
                 last_error = exc
                 self.stats.add("write_spills")
+                continue
+            except TierUnavailable as exc:
+                # retries exhausted / tier died mid-write: spill downhill
+                last_error = exc
+                self.stats.add("write_spills_fault")
                 continue
         raise last_error if last_error else NoSpace("all tiers full")
 
@@ -943,6 +1111,9 @@ class MuxFileSystem(FileSystem):
             raise IsADirectory(f"mux: truncate of directory {handle.path!r}")
         for tier_id in sorted(inode.tiers_present):
             tier = self.registry.get(tier_id)
+            if tier.health.is_offline:
+                self.stats.add("truncate_skipped_offline")
+                continue
             tier_handle = self._tier_handle(inode, tier, create=False)
             self.vfs.truncate(tier_handle, size)
         old_end = inode.blt.end_block()
@@ -996,8 +1167,15 @@ class MuxFileSystem(FileSystem):
             self._meta.flush(durable=False)
         for tier_id in sorted(inode.tiers_present):
             tier_handle = inode.tier_handles.get(tier_id)
-            if tier_handle is not None and tier_handle.is_open:
-                self.vfs.fsync(tier_handle)
+            if tier_handle is None or not tier_handle.is_open:
+                continue
+            tier = self.registry.get(tier_id)
+            if tier.health.is_offline:
+                # keep serving: surviving tiers still get their fsync,
+                # the dead tier's durability debt is flagged for fsck
+                self.stats.add("fsync_skipped_offline")
+                continue
+            self._tier_io(tier, lambda h=tier_handle: self.vfs.fsync(h))
         self.stats.add("fsync")
 
     # ==================================================================
@@ -1005,15 +1183,33 @@ class MuxFileSystem(FileSystem):
     # ==================================================================
 
     def getattr(self, path: str) -> Stat:
-        """Serve attributes from the collective inode cache (§2.3)."""
+        """Serve attributes from the collective inode cache (§2.3).
+
+        Affinity failover: when an attribute's affinitive file system is
+        offline, the collective inode's cached value is served anyway —
+        possibly missing the affinitive FS's latest lazy update — and the
+        attribute is listed in ``extra["stale_attrs"]`` so callers (and
+        fsck) can tell a degraded answer from an authoritative one.
+        """
         self._charge_base()
         inode = self.ns.resolve(path)
         self.stats.add("getattr")
         if inode.is_dir:
             return inode.stat()
+        stale: Optional[List[str]] = None
+        if self.registry.any_unhealthy():
+            stale = sorted(
+                attr
+                for attr, owner in inode.affinity.owners().items()
+                if owner is not None
+                and owner in self.registry
+                and self.registry.get(owner).health.is_offline
+            )
+            if stale:
+                self.stats.add("stale_attr_reads")
         # disk consumption has no single owner: aggregate across tiers
         blocks_512 = inode.blt.mapped_blocks() * (self.block_size // 512)
-        return inode.stat(blocks=blocks_512)
+        return inode.stat(blocks=blocks_512, stale_attrs=stale)
 
     def setattr(self, path: str, **attrs: object) -> Stat:
         self._charge_base()
@@ -1110,6 +1306,81 @@ class MuxFileSystem(FileSystem):
                 submitted += 1
         return submitted
 
+    def evacuate(self, tier_id: int) -> Dict[str, int]:
+        """Drain every block off a suspect tier onto healthy tiers.
+
+        Uses the existing run-level OCC migration per file.  If the tier's
+        health is OFFLINE it is first demoted to SUSPECT so the drain may
+        read it — evacuation of a tier whose *device* still rejects reads
+        will leave files behind (reported in ``files_failed``).  Affinity
+        owned by the drained tier fails over to the fastest surviving
+        tier; backing handles are closed for fully-drained files.
+        """
+        src = self.registry.get(tier_id)
+        if src.health.is_offline:
+            src.health.mark_suspect()
+        summary = {
+            "files_drained": 0,
+            "files_failed": 0,
+            "blocks_moved": 0,
+            "retries": 0,
+        }
+        for inode in list(self.ns.files()):
+            blocks = inode.blt.blocks_on(tier_id)
+            if blocks == 0:
+                continue
+            dst: Optional[Tier] = None
+            for candidate in self.registry.ordered():
+                if candidate.tier_id == tier_id:
+                    continue
+                if candidate.health.state is not HealthState.HEALTHY:
+                    continue
+                if self._tier_has_room(candidate, blocks * self.block_size):
+                    dst = candidate
+                    break
+            if dst is None:
+                raise NoSpace(
+                    f"no healthy tier can absorb {blocks} blocks from "
+                    f"tier {src.name!r}"
+                )
+            end = inode.blt.end_block()
+            result = self.engine.migrate_now(
+                MigrationOrder(
+                    inode.ino, 0, end, tier_id, dst.tier_id, reason="evacuate"
+                )
+            )
+            summary["blocks_moved"] += result.moved_blocks
+            summary["retries"] += result.retries
+            if inode.blt.blocks_on(tier_id):
+                summary["files_failed"] += 1
+                continue
+            summary["files_drained"] += 1
+            # the tier no longer backs this file: failover affinity, close
+            # the stale handle, and forget the tier's participation
+            fallback = next(
+                (
+                    t
+                    for t in self.registry.ordered()
+                    if t.tier_id != tier_id and not t.health.is_offline
+                ),
+                None,
+            )
+            if fallback is not None:
+                for attr, owner in inode.affinity.owners().items():
+                    if owner == tier_id:
+                        inode.affinity.set_owner(attr, fallback.tier_id)
+            if inode.pinned_tier == tier_id:
+                inode.pinned_tier = None
+            stale_handle = inode.tier_handles.pop(tier_id, None)
+            if stale_handle is not None and stale_handle.is_open:
+                self.vfs.close(stale_handle)
+            inode.tiers_present.discard(tier_id)
+        self.stats.add("evacuations")
+        if self._meta is not None:
+            self._meta.note(2)
+            self._meta.flush()
+        return summary
+
     def report(self) -> str:
         """A human-readable status dashboard (tiers, cache, migrations)."""
         lines = ["mux status"]
@@ -1119,7 +1390,8 @@ class MuxFileSystem(FileSystem):
             lines.append(
                 f"    [{tier.rank}] {tier.name:8s} {tier.fs.fs_name:8s} "
                 f"{stats.used_bytes / 1e6:8.1f}/{stats.total_bytes / 1e6:.1f} MB "
-                f"({100 * stats.utilization:5.1f}%)"
+                f"({100 * stats.utilization:5.1f}%) "
+                f"{tier.health.state.value}"
             )
         if self.cache is not None:
             lines.append(
@@ -1140,6 +1412,18 @@ class MuxFileSystem(FileSystem):
             f"{self.stats.get('fsync')} fsyncs; "
             f"{len(self.ns) - 1} namespace entries"
         )
+        if (
+            self.stats.get("fault_retries")
+            or self.stats.get("io_rejected_offline")
+            or self.stats.get("fault_gave_up")
+        ):
+            lines.append(
+                f"  faults: {self.stats.get('fault_retries')} retries "
+                f"({self.stats.get('fault_backoff_ns')} ns backoff), "
+                f"{self.stats.get('fault_gave_up')} gave up, "
+                f"{self.stats.get('io_rejected_offline')} offline rejections, "
+                f"{self.stats.get('reads_failed_offline')} reads failed"
+            )
         if self.qos is not None:
             for name, io_class in sorted(self.qos.classes().items()):
                 throttled = self.qos.stats.get(f"throttled_ops.{name}")

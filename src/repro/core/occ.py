@@ -47,7 +47,7 @@ from repro.core.intervals import (
     subtract_runs,
 )
 from repro.core.metadata import CollectiveInode
-from repro.errors import NoSpace
+from repro.errors import NoSpace, TierUnavailable
 from repro.sim.clock import SimClock
 from repro.sim.stats import CounterSet
 
@@ -94,6 +94,13 @@ class MigrationResult:
     #: the destination ran out of space; the movement aborted safely
     #: (source copies untouched, BLT unchanged for unmoved blocks)
     aborted_no_space: bool = False
+    #: transient-fault retries spent inside this migration's tier I/O
+    retries: int = 0
+    #: simulated ns of exponential backoff charged for those retries
+    backoff_ns: int = 0
+    #: a tier failed hard (offline / retries exhausted): the movement
+    #: aborted safely with unmoved blocks still (only) on the source
+    gave_up: bool = False
 
 
 class OccSynchronizer:
@@ -144,14 +151,19 @@ class OccSynchronizer:
             # -- copy phase (yields between chunks) --------------------------
             try:
                 yield from self._copy_runs(inode, targets, src_tier, dst_tier)
-            except NoSpace:
-                # destination full: abort safely — nothing committed yet,
-                # so user data still lives (only) on the source
+            except (NoSpace, TierUnavailable) as exc:
+                # destination full or a tier failed hard: abort safely —
+                # nothing committed yet, so user data still lives (only)
+                # on the source
                 inode.version += 1
                 inode.migration_active = False
                 inode.dirty_during_migration.clear()
-                result.aborted_no_space = True
-                self.stats.add("no_space_aborts")
+                if isinstance(exc, TierUnavailable):
+                    result.gave_up = True
+                    self.stats.add("fault_aborts")
+                else:
+                    result.aborted_no_space = True
+                    self.stats.add("no_space_aborts")
                 return result
 
             # -- validate + commit -------------------------------------------
@@ -167,7 +179,14 @@ class OccSynchronizer:
             clean = subtract_runs(
                 self._runs_on_src(inode, targets, src_tier), dirty
             )
-            self._commit(inode, clean, src_tier, dst_tier, result)
+            try:
+                self._commit(inode, clean, src_tier, dst_tier, result)
+            except TierUnavailable:
+                # the destination died before its fsync: nothing flipped,
+                # the source copies remain authoritative
+                result.gave_up = True
+                self.stats.add("fault_aborts")
+                return result
             conflicted = subtract_runs(targets, clean)
             conflict_blocks = runs_length(conflicted)
             result.conflicts += conflict_blocks
@@ -189,6 +208,9 @@ class OccSynchronizer:
             except NoSpace:
                 result.aborted_no_space = True
                 self.stats.add("no_space_aborts")
+            except TierUnavailable:
+                result.gave_up = True
+                self.stats.add("fault_aborts")
             finally:
                 inode.locked = False
         return result
@@ -247,7 +269,12 @@ class OccSynchronizer:
         self.io.tier_fsync(inode, dst_tier)
         self.io.blt_commit_move(inode, runs, src_tier, dst_tier)
         for span_start, span_len in runs:
-            self.io.tier_punch(inode, src_tier, span_start, span_len)
+            try:
+                self.io.tier_punch(inode, src_tier, span_start, span_len)
+            except TierUnavailable:
+                # data is already durable on dst and the BLT is flipped;
+                # a dead source just can't release its stale copy yet
+                self.stats.add("punch_failures")
         moved = runs_length(runs)
         result.moved_blocks += moved
         result.bytes_moved += moved * self.io.block_size

@@ -25,6 +25,7 @@ from repro.core.policy import (
     TierState,
     fastest_with_room,
     register_policy,
+    writable_tiers,
 )
 from repro.errors import PolicyError
 
@@ -100,8 +101,11 @@ class LruTieringPolicy(Policy):
         self, tiers: List[TierState], files: Iterable[FileView]
     ) -> List[MigrationOrder]:
         orders: List[MigrationOrder] = []
-        by_rank = sorted(tiers, key=lambda t: t.rank)
-        tier_by_id = {t.tier_id: t for t in tiers}
+        # never plan migrations INTO a suspect/offline tier
+        by_rank = sorted(writable_tiers(tiers), key=lambda t: t.rank)
+        tier_by_id = {t.tier_id: t for t in by_rank}
+        if not by_rank:
+            return orders
 
         # residence truth from the BLT views (recency map may be stale)
         residence: Dict[Tuple[int, int], int] = {}
@@ -174,7 +178,9 @@ class TpfsPolicy(Policy):
         history.append(request.length)
         del history[: -self.history_window]
         avg = sum(history) / len(history)
-        by_rank = sorted(tiers, key=lambda t: t.rank)
+        by_rank = sorted(writable_tiers(tiers), key=lambda t: t.rank)
+        if not by_rank:
+            raise PolicyError("no writable tier (all offline)")
 
         def pick(rank: int) -> TierState:
             rank = min(rank, len(by_rank) - 1)
@@ -224,7 +230,9 @@ class HotColdPolicy(Policy):
     def plan_migrations(
         self, tiers: List[TierState], files: Iterable[FileView]
     ) -> List[MigrationOrder]:
-        by_rank = sorted(tiers, key=lambda t: t.rank)
+        by_rank = sorted(writable_tiers(tiers), key=lambda t: t.rank)
+        if not by_rank:
+            return []
         fastest, slowest = by_rank[0], by_rank[-1]
         orders: List[MigrationOrder] = []
         for view in files:

@@ -17,6 +17,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.core.health import HealthState
 from repro.devices.profile import DeviceKind
 from repro.errors import PolicyError
 
@@ -31,6 +32,7 @@ class TierState:
     kind: DeviceKind
     free_bytes: int
     total_bytes: int
+    health: HealthState = HealthState.HEALTHY
 
     @property
     def used_bytes(self) -> int:
@@ -110,16 +112,33 @@ class Policy(ABC):
         """A file was deleted; drop any per-file policy state."""
 
 
+def writable_tiers(tiers: List[TierState]) -> List[TierState]:
+    """Tiers that should receive *new* writes, best health class first.
+
+    HEALTHY tiers win outright; if none exist, SUSPECT tiers are better
+    than failing the write; OFFLINE tiers are never returned (their device
+    would reject the I/O anyway).  An all-offline registry returns [] and
+    the caller surfaces EIO.
+    """
+    healthy = [t for t in tiers if t.health is HealthState.HEALTHY]
+    if healthy:
+        return healthy
+    return [t for t in tiers if t.health is not HealthState.OFFLINE]
+
+
 def fastest_with_room(
     tiers: List[TierState], length: int, reserve_fraction: float = 0.02
 ) -> TierState:
-    """The fastest tier that can absorb ``length`` bytes with headroom."""
-    for tier in sorted(tiers, key=lambda t: t.rank):
+    """The fastest writable tier that can absorb ``length`` bytes with headroom."""
+    candidates = writable_tiers(tiers)
+    if not candidates:
+        raise PolicyError("no writable tier (all offline)")
+    for tier in sorted(candidates, key=lambda t: t.rank):
         reserve = int(tier.total_bytes * reserve_fraction)
         if tier.free_bytes - reserve >= length:
             return tier
-    # last resort: the tier with the most free space
-    best = max(tiers, key=lambda t: t.free_bytes)
+    # last resort: the writable tier with the most free space
+    best = max(candidates, key=lambda t: t.free_bytes)
     if best.free_bytes < length:
         raise PolicyError(f"no tier can hold {length} bytes")
     return best

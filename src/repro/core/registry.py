@@ -8,9 +8,10 @@ Adding or removing a device can be done at runtime."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.health import HealthState, TierHealth
 from repro.core.policy import TierState
 from repro.devices.profile import DeviceKind, DeviceProfile
 from repro.errors import InvalidArgument, ReproError
@@ -27,6 +28,7 @@ class Tier:
     mount: str  # mount point of ``fs`` inside the shared VFS
     profile: DeviceProfile
     rank: int  # 0 = fastest
+    health: TierHealth = field(default_factory=TierHealth)
 
     @property
     def kind(self) -> DeviceKind:
@@ -41,6 +43,7 @@ class Tier:
             kind=self.kind,
             free_bytes=fsstats.free_bytes,
             total_bytes=fsstats.total_bytes,
+            health=self.health.state,
         )
 
 
@@ -88,6 +91,9 @@ class TierRegistry:
         except KeyError:
             raise ReproError(f"unknown tier id {tier_id}")
 
+    def maybe_get(self, tier_id: int) -> Optional[Tier]:
+        return self._tiers.get(tier_id)
+
     def by_name(self, name: str) -> Tier:
         for tier in self._tiers.values():
             if tier.name == name:
@@ -109,6 +115,12 @@ class TierRegistry:
         if not ordered:
             raise ReproError("no tiers registered")
         return ordered[0]
+
+    def any_unhealthy(self) -> bool:
+        """True if any tier is not HEALTHY (cheap degraded-mode gate)."""
+        return any(
+            t.health.state is not HealthState.HEALTHY for t in self._tiers.values()
+        )
 
     def __len__(self) -> int:
         return len(self._tiers)

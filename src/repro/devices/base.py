@@ -9,12 +9,15 @@ the sparse-file behaviour the native file systems rely on.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.devices.profile import DeviceProfile
 from repro.errors import DeviceError
 from repro.sim.clock import SimClock
 from repro.sim.stats import DeviceStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devices.faults import FaultInjector
 
 DEFAULT_BLOCK_SIZE = 4096
 
@@ -59,6 +62,12 @@ class Device:
         self._present: Dict[int, int] = {}
         self._materialized = 0
         self._zero_block = bytes(block_size)
+        #: optional fault schedule; None keeps the healthy path branch-free
+        self.faults: Optional["FaultInjector"] = None
+
+    def set_fault_injector(self, injector: Optional["FaultInjector"]) -> None:
+        """Attach (or detach, with None) a deterministic fault schedule."""
+        self.faults = injector
 
     # -- bounds ------------------------------------------------------------
 
@@ -145,8 +154,14 @@ class Device:
         self._check_range(block_no, count)
         nbytes = count * self.block_size
         cost = self._access_cost_ns(block_no, nbytes, write=False)
+        if self.faults is not None:
+            cost += self.faults.extra_latency_ns(cost)
         self.clock.advance_ns(cost)
         self.stats.record_read(nbytes, cost)
+        if self.faults is not None:
+            # Time is charged even for failing accesses: the controller did
+            # the work before reporting the error.
+            self.faults.check_read(block_no, count)
         return self._read_span_raw(block_no, count)
 
     def write_blocks(self, block_no: int, data: bytes) -> None:
@@ -158,8 +173,21 @@ class Device:
         count = len(data) // self.block_size
         self._check_range(block_no, count)
         cost = self._access_cost_ns(block_no, len(data), write=True)
+        if self.faults is not None:
+            cost += self.faults.extra_latency_ns(cost)
         self.clock.advance_ns(cost)
         self.stats.record_write(len(data), cost)
+        if self.faults is not None:
+            fault = self.faults.check_write(block_no, count)
+            if fault is not None:
+                prefix_blocks, exc = fault
+                if prefix_blocks > 0:
+                    # Torn write: a prefix of the payload reached media
+                    # before power/controller failure.
+                    self._write_span_raw(
+                        block_no, data[: prefix_blocks * self.block_size]
+                    )
+                raise exc
         self._write_span_raw(block_no, data)
 
     def discard_block(self, block_no: int) -> None:

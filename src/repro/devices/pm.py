@@ -72,6 +72,12 @@ class PersistentMemoryDevice(Device):
                 f"{self.name}: span [{addr}, {addr + length}) exceeds capacity"
             )
 
+    def _fault_blocks(self, addr: int, length: int) -> tuple[int, int]:
+        """Block range covering [addr, addr+length) for fault decisions."""
+        first = addr // self.block_size
+        last = (addr + length - 1) // self.block_size
+        return first, last - first + 1
+
     def load(self, addr: int, length: int) -> bytes:
         """Read ``length`` bytes at ``addr`` via the DAX path."""
         self._check_span(addr, length)
@@ -80,8 +86,12 @@ class PersistentMemoryDevice(Device):
         cost = self.profile.read_latency_ns + self.profile.transfer_ns(
             length, write=False
         )
+        if self.faults is not None:
+            cost += self.faults.extra_latency_ns(cost)
         self.clock.advance_ns(cost)
         self.stats.record_read(length, cost)
+        if self.faults is not None:
+            self.faults.check_read(*self._fault_blocks(addr, length))
         return self._peek_span(addr, length)
 
     def store(self, addr: int, data: bytes) -> None:
@@ -92,8 +102,17 @@ class PersistentMemoryDevice(Device):
         cost = self.profile.write_latency_ns + self.profile.transfer_ns(
             len(data), write=True
         )
+        if self.faults is not None:
+            cost += self.faults.extra_latency_ns(cost)
         self.clock.advance_ns(cost)
         self.stats.record_write(len(data), cost)
+        if self.faults is not None:
+            # A single CPU store is atomic at this model's granularity:
+            # torn_units=1 disables tearing, error/offline still apply.
+            bno, cnt = self._fault_blocks(addr, len(data))
+            fault = self.faults.check_write(bno, cnt, torn_units=1)
+            if fault is not None:
+                raise fault[1]
         self._poke_span(addr, data)
         first = addr // CACHE_LINE
         last = (addr + len(data) - 1) // CACHE_LINE
@@ -114,8 +133,12 @@ class PersistentMemoryDevice(Device):
             self.profile.read_latency_ns
             + self.profile.transfer_ns(chunk, write=False)
         )
+        if self.faults is not None:
+            cost += self.faults.extra_latency_ns(cost)
         self.clock.advance_ns(cost)
         self.stats.record_read(length, cost, ops=count)
+        if self.faults is not None:
+            self.faults.check_read(*self._fault_blocks(addr, length))
         return self._peek_span(addr, length)
 
     def store_run(self, addr: int, data, chunk: int) -> None:
@@ -137,8 +160,24 @@ class PersistentMemoryDevice(Device):
             self.profile.write_latency_ns
             + self.profile.transfer_ns(chunk, write=True)
         )
+        if self.faults is not None:
+            cost += self.faults.extra_latency_ns(cost)
         self.clock.advance_ns(cost)
         self.stats.record_write(length, cost, ops=count)
+        if self.faults is not None:
+            bno, cnt = self._fault_blocks(addr, length)
+            fault = self.faults.check_write(bno, cnt, torn_units=count)
+            if fault is not None:
+                prefix_chunks, exc = fault
+                if prefix_chunks > 0:
+                    # Torn run: only the first stores reached media.
+                    torn = bytes(data[: prefix_chunks * chunk])
+                    self._poke_span(addr, torn)
+                    self._mark_dirty(
+                        addr // CACHE_LINE,
+                        (addr + len(torn) - 1) // CACHE_LINE + 1,
+                    )
+                raise exc
         self._poke_span(addr, data)
         first = addr // CACHE_LINE
         last = (addr + length - 1) // CACHE_LINE

@@ -102,3 +102,13 @@ CATALOG = {
     "ssd": OPTANE_SSD_P4800X,
     "hdd": SEAGATE_EXOS_X18,
 }
+
+#: Default latency-spike multipliers per device class, used when a
+#: :class:`~repro.devices.faults.FaultConfig` doesn't pin its own.  HDDs
+#: spike hardest (thermal recalibration / retry storms), SSDs moderately
+#: (GC pauses), PM barely (memory-bus contention).
+DEFAULT_SPIKE_MULT = {
+    DeviceKind.PERSISTENT_MEMORY: 2.0,
+    DeviceKind.SOLID_STATE: 8.0,
+    DeviceKind.HARD_DISK: 20.0,
+}

@@ -17,6 +17,22 @@ class DeviceError(ReproError):
     """A simulated device rejected an operation (bounds, alignment, ...)."""
 
 
+class DeviceIoError(DeviceError):
+    """An injected media error on a block range.
+
+    ``transient`` distinguishes faults that succeed on retry from latched
+    media failures that persist for the life of the device.
+    """
+
+    def __init__(self, message: str = "", *, transient: bool = True) -> None:
+        super().__init__(message or self.__class__.__doc__)
+        self.transient = transient
+
+
+class DeviceOffline(DeviceError):
+    """The whole device is offline; every access is rejected."""
+
+
 class FsError(ReproError):
     """A file-system operation failed; carries a POSIX errno."""
 
@@ -90,6 +106,16 @@ class NotSupported(FsError):
     """Operation not supported by this file system (ENOTSUP)."""
 
     errno = errno.ENOTSUP
+
+
+class TierUnavailable(FsError):
+    """The tier holding the requested blocks is offline (EIO).
+
+    Raised by the mux only for operations whose BLT extents resolve to a
+    dead tier; data on surviving tiers keeps serving (degraded mode).
+    """
+
+    errno = errno.EIO
 
 
 class MigrationError(ReproError):

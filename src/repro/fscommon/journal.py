@@ -138,6 +138,19 @@ class Journal:
 
     # -- recovery ---------------------------------------------------------------
 
+    @staticmethod
+    def _valid_records(records: object) -> bool:
+        """Structural check on an unpickled payload: list of (str, dict)."""
+        if not isinstance(records, list):
+            return False
+        for record in records:
+            if not (isinstance(record, tuple) and len(record) == 2):
+                return False
+            kind, fields = record
+            if not isinstance(kind, str) or not isinstance(fields, dict):
+                return False
+        return True
+
     def recover(self) -> List[List[JournalRecord]]:
         """Scan the journal region and return committed transactions in order.
 
@@ -174,6 +187,11 @@ class Journal:
             try:
                 records = pickle.loads(payload)
             except Exception:
+                break
+            # garbage bytes can unpickle into *something* (torn write that
+            # preserved the framing but scrambled the payload); anything
+            # that is not a well-formed record list is end-of-log
+            if not self._valid_records(records):
                 break
             recovered.append(records)
             prev_seq = seq

@@ -344,7 +344,16 @@ class JournaledFileSystem(NativeFileSystem):
     def _fsync_inode(self, inode: Inode) -> None:
         # ordered mode: data reaches the device before metadata commits
         self._flush_inode_data(inode)
-        self._commit_txn(self._pending_data.pop(inode.ino, []))
+        records = self._pending_data.pop(inode.ino, [])
+        try:
+            self._commit_txn(records)
+        except Exception:
+            # a failed commit (injected device error) must not lose the
+            # records: restore them so a later fsync/sync can retry
+            if records:
+                existing = self._pending_data.setdefault(inode.ino, [])
+                existing[:0] = records
+            raise
         self.device.flush()
 
     def _punch_blocks(self, inode: Inode, from_block: int) -> None:
@@ -392,7 +401,14 @@ class JournaledFileSystem(NativeFileSystem):
             if not inode.is_dir:
                 self._flush_inode_data(inode)
         for ino in list(self._pending_data):
-            self._commit_txn(self._pending_data.pop(ino))
+            records = self._pending_data.pop(ino)
+            try:
+                self._commit_txn(records)
+            except Exception:
+                if records:
+                    existing = self._pending_data.setdefault(ino, [])
+                    existing[:0] = records
+                raise
         self.device.flush()
         self.checkpoint()
 

@@ -8,6 +8,7 @@ so every test and benchmark run is reproducible bit-for-bit.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import List, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -30,8 +31,13 @@ class DeterministicRng:
         return self._seed
 
     def fork(self, label: str) -> "DeterministicRng":
-        """Derive an independent substream keyed by ``label``."""
-        sub_seed = hash((self._seed, label)) & 0x7FFF_FFFF_FFFF_FFFF
+        """Derive an independent substream keyed by ``label``.
+
+        Python's built-in ``hash`` on strings is salted per process, which
+        would make forked streams (and any goldens derived from them)
+        irreproducible across runs; crc32 gives a stable derivation.
+        """
+        sub_seed = (self._seed * 0x9E3779B1 + zlib.crc32(label.encode("utf-8"))) & 0x7FFF_FFFF_FFFF_FFFF
         return DeterministicRng(sub_seed)
 
     def randint(self, low: int, high: int) -> int:

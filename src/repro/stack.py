@@ -9,19 +9,22 @@ layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.core.mux import MuxFileSystem
 from repro.core.policy import Policy
 from repro.core.scheduler import IoScheduler
+from repro.devices.faults import FaultConfig, FaultInjector
 from repro.devices.hdd import HardDiskDrive
 from repro.devices.pm import PersistentMemoryDevice
 from repro.devices.profile import (
+    DEFAULT_SPIKE_MULT,
     OPTANE_PMEM_200,
     OPTANE_SSD_P4800X,
     SEAGATE_EXOS_X18,
 )
+from repro.sim.rng import DeterministicRng
 from repro.devices.ssd import SolidStateDrive
 from repro.errors import InvalidArgument
 from repro.fs.ext4 import Ext4FileSystem
@@ -54,6 +57,8 @@ class Stack:
     devices: Dict[str, object] = field(default_factory=dict)
     filesystems: Dict[str, object] = field(default_factory=dict)
     tier_ids: Dict[str, int] = field(default_factory=dict)
+    #: per-tier fault injectors (empty unless ``build_stack(faults=...)``)
+    injectors: Dict[str, FaultInjector] = field(default_factory=dict)
 
     def tier_id(self, name: str) -> int:
         return self.tier_ids[name]
@@ -67,12 +72,21 @@ def build_stack(
     scheduler: Optional[IoScheduler] = None,
     blt_factory=None,
     clock: Optional[SimClock] = None,
+    faults: Optional[Dict[str, FaultConfig]] = None,
+    fault_seed: int = 2025,
 ) -> Stack:
     """Assemble devices, native file systems, the VFS and Mux.
 
     ``tiers`` selects a subset of ``["pm", "ssd", "hdd"]`` (default: all
     three, the paper's hierarchy).  Each tier gets its paper-matched
     device and file system: NOVA on PM, XFS on SSD, Ext4 on HDD.
+
+    ``faults`` maps tier names to :class:`FaultConfig`s; each named tier's
+    device gets a :class:`FaultInjector` with an independent rng substream
+    derived from ``fault_seed`` and the tier name, so schedules are
+    reproducible per device regardless of which other tiers are faulted.
+    A tier absent from the map (or a ``None`` map — the default) has no
+    injector and charges not one extra nanosecond.
     """
     tiers = list(tiers) if tiers is not None else ["pm", "ssd", "hdd"]
     caps = dict(DEFAULT_CAPACITIES)
@@ -117,6 +131,25 @@ def build_stack(
         filesystems[name] = fs
         tier_ids[name] = tier.tier_id
 
+    injectors: Dict[str, FaultInjector] = {}
+    if faults:
+        fault_rng = DeterministicRng(fault_seed)
+        for name, config in faults.items():
+            if name not in devices:
+                raise InvalidArgument(f"faults for unknown tier {name!r}")
+            device = devices[name]
+            if config.latency_spike_p and config.latency_spike_mult is None:
+                # tier-appropriate default: a PM spike is mild, an HDD
+                # seek storm is not
+                kind = mux.registry.by_name(name).kind
+                config = replace(
+                    config,
+                    latency_spike_mult=DEFAULT_SPIKE_MULT.get(kind, 8.0),
+                )
+            injector = FaultInjector(name, config, fault_rng.fork(name))
+            device.set_fault_injector(injector)  # type: ignore[attr-defined]
+            injectors[name] = injector
+
     vfs.mount("/mux", mux)
     return Stack(
         clock=clock,
@@ -125,4 +158,5 @@ def build_stack(
         devices=devices,
         filesystems=filesystems,
         tier_ids=tier_ids,
+        injectors=injectors,
     )

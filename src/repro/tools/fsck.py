@@ -196,8 +196,41 @@ def check_mux(mux: MuxFileSystem, deep: bool = True) -> List[str]:
             problems.append(
                 f"{label}: BLT maps past EOF (end_block {end}, size {inode.size})"
             )
+        problems += _check_tier_health(mux, inode, label)
         if deep:
             problems += _check_backing_blocks(mux, inode, label)
+    return problems
+
+
+def _check_tier_health(mux: MuxFileSystem, inode, label: str) -> List[str]:
+    """Degraded-mode findings: data or metadata stranded on a dead tier.
+
+    A block mapped to an OFFLINE tier is unreadable (every read raises
+    ``EIO``) until the tier is evacuated or brought back; an affinitive
+    attribute owned by an OFFLINE tier forces getattr to serve the
+    collective-inode cached value flagged stale.  Both are operator-visible
+    conditions fsck must report, not silently tolerate.
+    """
+    problems: List[str] = []
+    for tier_id in inode.blt.tiers_used():
+        tier = mux.registry.maybe_get(tier_id)
+        if tier is None:
+            continue  # unknown tier already reported above
+        if tier.health.is_offline:
+            stranded = inode.blt.blocks_on(tier_id)
+            problems.append(
+                f"{label}: {stranded} block(s) stranded on offline "
+                f"tier {tier.name} (reads will raise EIO)"
+            )
+    for attr, owner in inode.affinity.owners().items():
+        if owner is None:
+            continue
+        tier = mux.registry.maybe_get(owner)
+        if tier is not None and tier.health.is_offline:
+            problems.append(
+                f"{label}: {attr} affinitive to offline tier {tier.name} "
+                f"(getattr serves stale cached value)"
+            )
     return problems
 
 

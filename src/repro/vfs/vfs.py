@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List, Tuple
 
-from repro.errors import CrossDevice, FileNotFound, InvalidArgument
+from repro.errors import CrossDevice, FileNotFound, InvalidArgument, NotADirectory
 from repro.sim.clock import SimClock
 from repro.vfs import path as vpath
 from repro.vfs.interface import FileHandle, FileSystem, OpenFlags
@@ -181,10 +181,13 @@ class VFS:
         return fs.statfs()
 
     def exists(self, path: str) -> bool:
+        # NotADirectory means a path component resolved to a regular file
+        # (seen mid-evacuation when a tier's namespace is partially drained);
+        # for existence purposes that is the same answer as "not there"
         try:
             self.getattr(path)
             return True
-        except FileNotFound:
+        except (FileNotFound, NotADirectory):
             return False
 
     # -- handle-based operations ---------------------------------------------------

@@ -1,0 +1,326 @@
+"""Degraded-mode tiering: survive a failing tier, don't just crash cleanly.
+
+Covers the per-tier health state machine, error-scoped reads (EIO only
+for blocks on a dead tier), placement routing around unhealthy tiers,
+bounded retry/backoff on transient faults, BLT write atomicity under
+mid-write failures, evacuation, and the scripted end-to-end scenario from
+the issue's acceptance criteria.
+"""
+
+import errno
+
+import pytest
+
+from repro.core.health import (
+    HEALTH_OFFLINE_ERRORS,
+    HEALTH_RECOVERY_SUCCESSES,
+    HEALTH_SUSPECT_ERRORS,
+    HealthState,
+    TierHealth,
+)
+from repro.core.policy import MigrationOrder
+from repro.devices.faults import FaultConfig
+from repro.errors import FsError, TierUnavailable
+from repro.stack import build_stack
+from repro.tools import fsck
+
+MIB = 1024 * 1024
+
+
+class TestHealthMachine:
+    def test_starts_healthy(self):
+        health = TierHealth()
+        assert health.state is HealthState.HEALTHY
+        assert health.accepts_writes
+
+    def test_consecutive_errors_demote_to_suspect(self):
+        health = TierHealth()
+        for _ in range(HEALTH_SUSPECT_ERRORS - 1):
+            health.record_error()
+        assert health.state is HealthState.HEALTHY
+        health.record_error()
+        assert health.state is HealthState.SUSPECT
+        assert not health.accepts_writes
+
+    def test_success_resets_the_error_streak(self):
+        health = TierHealth()
+        for _ in range(HEALTH_SUSPECT_ERRORS - 1):
+            health.record_error()
+        health.record_success()
+        for _ in range(HEALTH_SUSPECT_ERRORS - 1):
+            health.record_error()
+        assert health.state is HealthState.HEALTHY
+
+    def test_suspect_escalates_to_offline(self):
+        health = TierHealth()
+        for _ in range(HEALTH_OFFLINE_ERRORS):
+            health.record_error()
+        assert health.state is HealthState.OFFLINE
+        assert health.is_offline
+
+    def test_suspect_recovers_after_sustained_successes(self):
+        health = TierHealth()
+        for _ in range(HEALTH_SUSPECT_ERRORS):
+            health.record_error()
+        for _ in range(HEALTH_RECOVERY_SUCCESSES - 1):
+            health.record_success()
+        assert health.state is HealthState.SUSPECT
+        health.record_success()
+        assert health.state is HealthState.HEALTHY
+
+    def test_offline_is_sticky(self):
+        health = TierHealth()
+        health.mark_offline()
+        for _ in range(10 * HEALTH_RECOVERY_SUCCESSES):
+            health.record_success()
+        assert health.state is HealthState.OFFLINE
+        health.mark_online()
+        assert health.state is HealthState.HEALTHY
+
+
+def place_on(stack, path, tier_name, size=64 * 1024):
+    """Create a file and migrate its blocks onto the named tier."""
+    mux = stack.mux
+    handle = mux.create(path)
+    mux.write(handle, 0, b"\xa5" * size)
+    src = stack.tier_ids["pm"]
+    dst = stack.tier_ids[tier_name]
+    if src != dst:
+        blocks = size // mux.block_size
+        result = mux.engine.migrate_now(
+            MigrationOrder(handle.ino, 0, blocks, src, dst, reason="test")
+        )
+        assert result.moved_blocks == blocks
+    return handle
+
+
+class TestScriptedScenario:
+    """The acceptance scenario: SSD dies mid-run, the stack keeps serving."""
+
+    @pytest.fixture
+    def stack(self):
+        return build_stack(faults={"ssd": FaultConfig()}, fault_seed=3)
+
+    def test_ssd_offline_mid_run(self, stack):
+        mux = stack.mux
+        ssd = stack.tier_ids["ssd"]
+        on_pm = place_on(stack, "/on_pm", "pm")
+        on_ssd = place_on(stack, "/on_ssd", "ssd")
+        on_hdd = place_on(stack, "/on_hdd", "hdd")
+
+        # -- the device dies; the health monitor declares the tier dead
+        stack.injectors["ssd"].set_offline()
+        mux.mark_tier_offline(ssd)
+
+        # reads scoped to surviving tiers keep succeeding
+        assert mux.read(on_pm, 0, 4096) == b"\xa5" * 4096
+        assert mux.read(on_hdd, 0, 4096) == b"\xa5" * 4096
+
+        # reads needing the dead tier fail with EIO — error-scoped, not global
+        with pytest.raises(FsError) as excinfo:
+            mux.read(on_ssd, 0, 4096)
+        assert excinfo.value.errno == errno.EIO
+        assert mux.stats.get("reads_failed_offline") > 0
+
+        # getattr still answers, flagging attributes affinitive to the
+        # dead tier as stale instead of failing
+        stat = mux.getattr("/on_ssd")
+        assert stat.size == 64 * 1024
+
+        # new writes route around the dead tier
+        fresh = mux.create("/fresh")
+        mux.write(fresh, 0, b"\x5a" * 32768)
+        inode = mux.ns.resolve("/fresh")
+        assert ssd not in inode.blt.tiers_used()
+        mux.close(fresh)
+
+        # -- repair: device returns, tier is drained, then re-admitted
+        stack.injectors["ssd"].set_online()
+        summary = mux.evacuate(ssd)
+        assert summary["files_drained"] == 1
+        assert summary["files_failed"] == 0
+        survivor = mux.ns.resolve("/on_ssd")
+        assert ssd not in survivor.blt.tiers_used()
+        mux.mark_tier_online(ssd)
+
+        # data is intact and fsck has nothing to report
+        assert mux.read(on_ssd, 0, 4096) == b"\xa5" * 4096
+        assert fsck.check_mux(mux) == []
+        for handle in (on_pm, on_ssd, on_hdd):
+            mux.close(handle)
+
+    def test_stale_affinity_flagged(self, stack):
+        mux = stack.mux
+        ssd = stack.tier_ids["ssd"]
+        handle = place_on(stack, "/aff", "ssd")
+        mux.read(handle, 0, 4096)  # atime affinity follows the serving tier
+        assert mux.ns.resolve("/aff").affinity.owners()["atime"] == ssd
+
+        mux.mark_tier_offline(ssd)
+        stat = mux.getattr("/aff")
+        assert "atime" in stat.extra.get("stale_attrs", [])
+        assert mux.stats.get("stale_attr_reads") > 0
+
+        mux.mark_tier_online(ssd)
+        stat = mux.getattr("/aff")
+        assert "stale_attrs" not in stat.extra
+        mux.close(handle)
+
+    def test_fsck_reports_stranded_blocks(self, stack):
+        mux = stack.mux
+        ssd = stack.tier_ids["ssd"]
+        handle = place_on(stack, "/stranded", "ssd")
+        mux.mark_tier_offline(ssd)
+        problems = fsck.check_mux(mux, deep=False)
+        assert any("stranded on offline tier ssd" in p for p in problems)
+        mux.mark_tier_online(ssd)
+        assert fsck.check_mux(mux, deep=False) == []
+        mux.close(handle)
+
+
+class TestTransientFaults:
+    """p=0.3 transient write errors: retried invisibly, deterministically."""
+
+    def run_workload(self):
+        stack = build_stack(
+            faults={
+                "pm": FaultConfig(write_error_p=0.3, transient_fraction=1.0)
+            },
+            fault_seed=17,
+        )
+        mux = stack.mux
+        mux.mkdir("/w")
+        handles = [mux.create(f"/w/f{i}") for i in range(10)]
+        for op in range(1000):
+            handle = handles[op % len(handles)]
+            mux.write(handle, (op // len(handles)) * 4096, b"\xcd" * 4096)
+        for handle in handles:
+            mux.close(handle)
+        return stack
+
+    def test_zero_user_visible_failures(self):
+        stack = self.run_workload()  # any raise fails the test
+        assert stack.mux.stats.get("fault_retries") > 0
+        assert stack.mux.stats.get("fault_backoff_ns") > 0
+        # backoff charged simulated time, never host sleeps
+        assert stack.clock.now_ns > stack.mux.stats.get("fault_backoff_ns") > 0
+
+    def test_retry_counters_deterministic(self):
+        a, b = self.run_workload(), self.run_workload()
+        keys = ("fault_retries", "fault_backoff_ns", "fault_gave_up")
+        assert [a.mux.stats.get(k) for k in keys] == [
+            b.mux.stats.get(k) for k in keys
+        ]
+        assert a.clock.now_ns == b.clock.now_ns
+
+    def test_migration_surfaces_retry_stats(self):
+        stack = build_stack(
+            faults={
+                "ssd": FaultConfig(write_error_p=0.4, transient_fraction=1.0)
+            },
+            fault_seed=5,
+        )
+        mux = stack.mux
+        handle = mux.create("/mig")
+        mux.write(handle, 0, b"\xa5" * (256 * 1024))
+        blocks = (256 * 1024) // mux.block_size
+        result = mux.engine.migrate_now(
+            MigrationOrder(
+                handle.ino, 0, blocks,
+                stack.tier_ids["pm"], stack.tier_ids["ssd"], reason="test",
+            )
+        )
+        assert result.moved_blocks == blocks
+        assert result.retries > 0
+        assert result.backoff_ns > 0
+        assert not result.gave_up
+        assert mux.engine.stats.get("retries") == result.retries
+        assert mux.engine.stats.get("backoff_ns") == result.backoff_ns
+        mux.close(handle)
+
+
+class TestWriteAtomicity:
+    """NoSpace/DeviceError mid-write must not leave a half-updated BLT."""
+
+    def test_failed_write_leaves_blt_untouched(self):
+        # single tier, so the failing write has nowhere to spill; NOVA on
+        # PM is DAX-synchronous, so the device error fires at write time
+        stack = build_stack(tiers=["pm"], faults={"pm": FaultConfig()})
+        mux = stack.mux
+        victim = mux.create("/victim")
+        mux.write(victim, 0, b"\xee" * (64 * 1024))
+        inode = mux.ns.resolve("/victim")
+        size_before = inode.size
+        end_before = inode.blt.end_block()
+        tiers_before = set(inode.blt.tiers_used())
+
+        stack.injectors["pm"].config = FaultConfig(
+            write_error_p=1.0, transient_fraction=0.0
+        )
+        with pytest.raises(FsError):
+            mux.write(victim, 64 * 1024, b"\xa5" * (128 * 1024))
+        # the write failed as a unit: no size growth, no half-mapped BLT
+        assert inode.size == size_before
+        assert inode.blt.end_block() == end_before
+        assert set(inode.blt.tiers_used()) == tiers_before
+        # the original data is still readable once the device recovers
+        stack.injectors["pm"].config = FaultConfig()
+        stack.injectors["pm"].clear_latched()
+        assert mux.read(victim, 0, 4096) == b"\xee" * 4096
+        mux.close(victim)
+
+    def test_spill_to_survivor_is_atomic_and_complete(self):
+        stack = build_stack(
+            faults={
+                "ssd": FaultConfig(write_error_p=1.0, transient_fraction=0.0)
+            }
+        )
+        mux = stack.mux
+        ssd = stack.tier_ids["ssd"]
+        mux.registry.get(ssd).health.mark_suspect()  # placement avoids it
+        handle = mux.create("/spilled")
+        mux.write(handle, 0, b"\xa5" * (128 * 1024))
+        inode = mux.ns.resolve("/spilled")
+        assert inode.size == 128 * 1024
+        assert ssd not in inode.blt.tiers_used()
+        assert mux.read(handle, 0, 4096) == b"\xa5" * 4096
+        mux.close(handle)
+
+
+class TestEvacuation:
+    def test_evacuate_offline_device_reports_failures(self):
+        """If the device still rejects reads, the drain fails loudly."""
+        stack = build_stack(faults={"ssd": FaultConfig()})
+        mux = stack.mux
+        ssd = stack.tier_ids["ssd"]
+        handle = place_on(stack, "/stuck", "ssd")
+        stack.injectors["ssd"].set_offline()
+        mux.mark_tier_offline(ssd)
+        # a warm page cache can rescue data off a dead device (DRAM copy);
+        # drop it so the drain really has to read the rejecting media
+        stack.filesystems["ssd"].page_cache.drop_clean()
+        summary = mux.evacuate(ssd)
+        assert summary["files_failed"] == 1
+        assert summary["files_drained"] == 0
+        assert mux.ns.resolve("/stuck").blt.blocks_on(ssd) > 0
+        mux.close(handle)
+
+    def test_evacuate_is_deterministic(self):
+        def run():
+            stack = build_stack(
+                faults={
+                    "ssd": FaultConfig(
+                        read_error_p=0.2, transient_fraction=1.0
+                    )
+                },
+                fault_seed=23,
+            )
+            handles = [
+                place_on(stack, f"/e{i}", "ssd") for i in range(4)
+            ]
+            summary = stack.mux.evacuate(stack.tier_ids["ssd"])
+            for handle in handles:
+                stack.mux.close(handle)
+            return summary, stack.clock.now_ns
+
+        assert run() == run()

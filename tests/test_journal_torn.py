@@ -1,0 +1,134 @@
+"""Torn-write recovery for the metadata journal.
+
+The write-ahead contract says a transaction is durable exactly when its
+commit block lands.  These tests tear commits two ways — via the fault
+injector's prefix materialization and via hand-scrambled frames — and
+check the recovery scan treats every malformed tail as end-of-log instead
+of replaying garbage.
+"""
+
+import pickle
+import struct
+
+import pytest
+
+from repro.devices.base import Device
+from repro.devices.faults import FaultConfig, FaultInjector
+from repro.devices.profile import OPTANE_SSD_P4800X
+from repro.errors import DeviceIoError
+from repro.fscommon.journal import _HEADER, _TRAILER, COMMIT_MAGIC, MAGIC, Journal
+from repro.sim.clock import SimClock
+from repro.sim.rng import DeterministicRng
+
+MIB = 1024 * 1024
+
+
+@pytest.fixture
+def device():
+    return Device("j0", OPTANE_SSD_P4800X, 4 * MIB, SimClock())
+
+
+@pytest.fixture
+def journal(device):
+    return Journal(device, start_block=0, num_blocks=64)
+
+
+def commit(journal, seq_label):
+    txn = journal.begin()
+    txn.add("link", parent=1, name=seq_label, ino=2)
+    txn.commit()
+
+
+class TestInjectedTornWrites:
+    def test_torn_multiblock_commit_is_not_recovered(self, device, journal):
+        commit(journal, "first")  # small txn: lands whole
+        device.set_fault_injector(
+            FaultInjector("j0", FaultConfig(torn_write_p=1.0), DeterministicRng(3))
+        )
+        txn = journal.begin()
+        # payload spans several blocks so the tear can land mid-frame
+        txn.add("blob", data=b"x" * (3 * device.block_size))
+        with pytest.raises(DeviceIoError):
+            txn.commit()
+        device.set_fault_injector(None)
+
+        fresh = Journal(device, start_block=0, num_blocks=64)
+        recovered = fresh.recover()
+        assert len(recovered) == 1  # the torn txn never committed
+        assert recovered[0][0][1]["name"] == "first"
+
+    def test_appends_continue_after_torn_recovery(self, device, journal):
+        commit(journal, "first")
+        device.set_fault_injector(
+            FaultInjector("j0", FaultConfig(torn_write_p=1.0), DeterministicRng(3))
+        )
+        txn = journal.begin()
+        txn.add("blob", data=b"x" * (3 * device.block_size))
+        with pytest.raises(DeviceIoError):
+            txn.commit()
+        device.set_fault_injector(None)
+
+        fresh = Journal(device, start_block=0, num_blocks=64)
+        fresh.recover()
+        commit(fresh, "second")
+        again = Journal(device, start_block=0, num_blocks=64).recover()
+        assert [t[0][1]["name"] for t in again] == ["first", "second"]
+
+
+def write_frame(device, offset_block, seq, payload, trailer=COMMIT_MAGIC):
+    """Hand-assemble a journal frame (possibly malformed) on the device."""
+    body_len = _HEADER.size + len(payload) + _TRAILER.size
+    blocks = -(-body_len // device.block_size)
+    frame = bytearray(blocks * device.block_size)
+    _HEADER.pack_into(frame, 0, MAGIC, seq, len(payload))
+    frame[_HEADER.size : _HEADER.size + len(payload)] = payload
+    _TRAILER.pack_into(frame, _HEADER.size + len(payload), trailer)
+    device.write_blocks(offset_block, bytes(frame))
+    return blocks
+
+
+class TestGarbagePayloads:
+    """A tear that preserves the framing but scrambles the payload."""
+
+    def test_unpicklable_payload_ends_the_log(self, device, journal):
+        commit(journal, "good")
+        offset = journal._head
+        write_frame(device, offset, seq=2, payload=b"\xff" * 100)
+        recovered = Journal(device, start_block=0, num_blocks=64).recover()
+        assert len(recovered) == 1
+
+    def test_picklable_garbage_ends_the_log(self, device, journal):
+        commit(journal, "good")
+        offset = journal._head
+        # unpickles fine, but is not a list of (str, dict) records
+        write_frame(device, offset, seq=2, payload=pickle.dumps([1, 2, 3]))
+        recovered = Journal(device, start_block=0, num_blocks=64).recover()
+        assert len(recovered) == 1
+
+    def test_wrong_record_shape_ends_the_log(self, device, journal):
+        commit(journal, "good")
+        offset = journal._head
+        bad = pickle.dumps([("kind", {"k": 1}), ("orphan",)])  # 1-tuple
+        write_frame(device, offset, seq=2, payload=bad)
+        recovered = Journal(device, start_block=0, num_blocks=64).recover()
+        assert len(recovered) == 1
+
+    def test_garbage_does_not_shadow_later_generations(self, device, journal):
+        """After recovery stops at garbage, new commits overwrite it."""
+        commit(journal, "good")
+        offset = journal._head
+        write_frame(device, offset, seq=2, payload=pickle.dumps({"not": "records"}))
+        fresh = Journal(device, start_block=0, num_blocks=64)
+        fresh.recover()
+        commit(fresh, "after")
+        recovered = Journal(device, start_block=0, num_blocks=64).recover()
+        assert [t[0][1]["name"] for t in recovered] == ["good", "after"]
+
+    def test_valid_records_structural_check(self):
+        valid = Journal._valid_records
+        assert valid([("k", {"a": 1})])
+        assert valid([])
+        assert not valid("nope")
+        assert not valid([("k", {"a": 1}), (1, {})])
+        assert not valid([("k", ["not", "a", "dict"])])
+        assert not valid([("k",)])
