@@ -10,6 +10,7 @@ Usage::
 
     PYTHONPATH=src python -m repro.bench profile metadata_churn
     PYTHONPATH=src python -m repro.bench profile seq_read --smoke -n 40
+    PYTHONPATH=src python -m repro.bench profile hot_set_reads --sort tottime
     PYTHONPATH=src python -m repro.bench profile --list
 """
 
@@ -23,6 +24,10 @@ from typing import List, Optional
 
 DEFAULT_TOP_N = 25
 
+#: pstats sort keys accepted by --sort; "cumulative" finds the expensive
+#: call path, "tottime" finds the function burning the cycles itself
+SORT_KEYS = ("cumulative", "tottime", "ncalls")
+
 
 def _registered():
     from repro.bench.wallclock import WORKLOADS
@@ -31,12 +36,17 @@ def _registered():
 
 
 def profile_workload(
-    name: str, smoke: bool = False, top_n: int = DEFAULT_TOP_N
+    name: str,
+    smoke: bool = False,
+    top_n: int = DEFAULT_TOP_N,
+    sort: str = "cumulative",
 ) -> str:
     """Run one registered workload under cProfile; returns the report text."""
     workloads = _registered()
     if name not in workloads:
         raise KeyError(name)
+    if sort not in SORT_KEYS:
+        raise ValueError(f"sort must be one of {SORT_KEYS}, not {sort!r}")
     fn = workloads[name]
     profiler = cProfile.Profile()
     profiler.enable()
@@ -44,13 +54,13 @@ def profile_workload(
     profiler.disable()
     buf = io.StringIO()
     stats = pstats.Stats(profiler, stream=buf)
-    stats.sort_stats("cumulative")
+    stats.sort_stats(sort)
     stats.print_stats(top_n)
     header = (
         f"profile: {name} ({'smoke' if smoke else 'full'} size) — "
         f"wall={result['wall_s']:.3f}s host, "
         f"sim={result['sim_elapsed_s']:.4f}s simulated\n"
-        f"top {top_n} functions by cumulative host time:\n"
+        f"top {top_n} functions by {sort} host time:\n"
     )
     return header + buf.getvalue()
 
@@ -62,29 +72,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("registered workloads:")
         for name in workloads:
             print(f"  {name}")
-        print("usage: python -m repro.bench profile <workload> [--smoke] [-n N]")
+        print(
+            "usage: python -m repro.bench profile <workload> [--smoke] [-n N]"
+            " [--sort cumulative|tottime|ncalls]"
+        )
         return 0 if "--list" in argv else 2
     smoke = "--smoke" in argv
     top_n = DEFAULT_TOP_N
-    top_value: Optional[str] = None
+    consumed: List[str] = []
     for flag in ("-n", "--top"):
         if flag in argv:
             idx = argv.index(flag)
             if idx + 1 >= len(argv):
                 print(f"profile: {flag} requires a number", file=sys.stderr)
                 return 2
-            top_value = argv[idx + 1]
+            consumed.append(argv[idx + 1])
             try:
-                top_n = int(top_value)
+                top_n = int(argv[idx + 1])
             except ValueError:
-                print(f"profile: bad {flag} value {top_value!r}", file=sys.stderr)
+                print(
+                    f"profile: bad {flag} value {argv[idx + 1]!r}", file=sys.stderr
+                )
                 return 2
             break
-    name = [a for a in argv if not a.startswith("-") and a != top_value][0]
+    sort = "cumulative"
+    if "--sort" in argv:
+        idx = argv.index("--sort")
+        if idx + 1 >= len(argv) or argv[idx + 1] not in SORT_KEYS:
+            print(
+                f"profile: --sort requires one of {', '.join(SORT_KEYS)}",
+                file=sys.stderr,
+            )
+            return 2
+        sort = argv[idx + 1]
+        consumed.append(sort)
+    positional = [a for a in argv if not a.startswith("-") and a not in consumed]
+    if not positional:
+        print("profile: no workload named; --list shows choices", file=sys.stderr)
+        return 2
+    name = positional[0]
     if name not in workloads:
         print(f"profile: unknown workload {name!r}; --list shows choices", file=sys.stderr)
         return 2
-    print(profile_workload(name, smoke=smoke, top_n=top_n))
+    print(profile_workload(name, smoke=smoke, top_n=top_n, sort=sort))
     return 0
 
 

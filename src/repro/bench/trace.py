@@ -243,7 +243,7 @@ def replay(trace: Trace, fs: FileSystem, clock: SimClock) -> ReplayResult:
 # number, not an anecdote.
 
 
-def _record_mixed(ops: int, seed: int, faulty: bool):
+def _record_mixed(ops: int, seed: int, faulty: bool, write_back: bool = False):
     from repro.bench.workloads import metadata_churn, metadata_tree
     from repro.core.policy import MigrationOrder
     from repro.devices.faults import FaultConfig
@@ -256,7 +256,9 @@ def _record_mixed(ops: int, seed: int, faulty: bool):
                 read_error_p=0.05, write_error_p=0.25, transient_fraction=1.0
             )
         }
-    stack = build_stack(faults=faults, fault_seed=seed)
+    stack = build_stack(
+        faults=faults, fault_seed=seed, cache_write_back=write_back
+    )
     recorder = TraceRecorder(stack.mux)
     recorder.mkdir("/t")
     blob = b"\xa5" * 65536
@@ -276,6 +278,11 @@ def _record_mixed(ops: int, seed: int, faulty: bool):
         )
         migrations.append((f"/t/f{i}", result))
     for handle in handles:
+        # read the migrated blocks back (fills the SCM cache), then
+        # overwrite a slice — with --write-back those writes are absorbed
+        # in place and the close destages them in coalesced runs
+        recorder.read(handle, 0, len(blob))
+        recorder.write(handle, 0, b"\x5a" * 8192)
         recorder.close(handle)
     return stack, recorder.trace, migrations
 
@@ -287,6 +294,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     argv = list(sys.argv[1:] if argv is None else argv)
     faulty = "--no-faults" not in argv
+    write_back = "--write-back" in argv
     ops = 600
     if "--ops" in argv:
         ops = int(argv[argv.index("--ops") + 1])
@@ -294,10 +302,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if "--seed" in argv:
         seed = int(argv[argv.index("--seed") + 1])
 
-    stack, trace, migrations = _record_mixed(ops, seed, faulty)
+    stack, trace, migrations = _record_mixed(ops, seed, faulty, write_back)
     mix = ", ".join(f"{op}={n}" for op, n in sorted(trace.op_mix().items()))
     print(f"trace: recorded {len(trace)} ops ({mix})")
     print(f"trace: {trace.bytes_written} bytes written, {trace.bytes_read} read")
+    if stack.mux.cache is not None:
+        counters = stack.mux.cache.cache_counters()
+        print(
+            "cache: "
+            f"hit={counters.get('hit', 0)} miss={counters.get('miss', 0)} "
+            f"evict={counters.get('evict', 0)} "
+            f"write_hit={counters.get('write_hit', 0)} "
+            f"destage_runs={counters.get('destage_runs', 0)} "
+            f"destaged_blocks={counters.get('destaged_blocks', 0)} "
+            f"dirty_blocks={counters.get('dirty_blocks', 0)}"
+        )
 
     label = "faulty ssd" if faulty else "no faults"
     print(f"migrations ({label}):")

@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.bench.harness import build_strata
 from repro.bench.macro import fileserver, varmail, webserver
 from repro.bench.workloads import (
+    cache_writeback,
     fault_storm,
     hot_set_reads,
     make_file,
@@ -62,7 +63,13 @@ SMOKE_REPS = 1
 # ---------------------------------------------------------------------------
 
 
-def _mux_fingerprint(stack: Stack) -> Dict[str, object]:
+def _mux_fingerprint(stack: Stack, extended: bool = False) -> Dict[str, object]:
+    """Simulated fingerprint of a stack run.
+
+    ``extended`` additionally pins the write-back counters; only the
+    ``cache_writeback`` workload uses it, so the fingerprints (and hence
+    the goldens) of every pre-existing workload are unchanged.
+    """
     fp: Dict[str, object] = {
         "now_ns": stack.clock.now_ns,
         "devices": {
@@ -74,6 +81,10 @@ def _mux_fingerprint(stack: Stack) -> Dict[str, object]:
             "hit": stack.mux.cache.stats.get("hit"),
             "miss": stack.mux.cache.stats.get("miss"),
         }
+        if extended:
+            counters = stack.mux.cache.cache_counters()
+            for key in ("write_hit", "destage_runs", "destaged_blocks", "dirty_blocks"):
+                fp["cache"][key] = counters.get(key, 0)
     else:
         fp["cache"] = {"hit": 0, "miss": 0}
     return fp
@@ -279,6 +290,23 @@ def _wl_fault_storm(smoke: bool) -> Dict[str, object]:
     }
 
 
+def _wl_cache_writeback(smoke: bool) -> Dict[str, object]:
+    size, ops = (2 * MIB, 400) if smoke else (8 * MIB, 4000)
+    stack = build_stack(cache_write_back=True)
+    t0 = time.perf_counter()
+    sim0 = stack.clock.now_ns
+    counts = cache_writeback(stack, file_bytes=size, operations=ops)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "ops": ops,
+        "bytes": ops * 4096,
+        "sim_elapsed_s": (stack.clock.now_ns - sim0) / 1e9,
+        "events": counts,
+        "fingerprint": _mux_fingerprint(stack, extended=True),
+    }
+
+
 def _wl_strata_fileserver(smoke: bool) -> Dict[str, object]:
     files, ops = (8, 100) if smoke else (20, 300)
     strata = build_strata()
@@ -304,6 +332,7 @@ WORKLOADS: List[Tuple[str, Callable[[bool], Dict[str, object]]]] = [
     ("metadata_churn", _wl_metadata_churn),
     ("migration_churn", _wl_migration_churn),
     ("fault_storm", _wl_fault_storm),
+    ("cache_writeback", _wl_cache_writeback),
     ("strata_fileserver", _wl_strata_fileserver),
 ]
 

@@ -350,6 +350,74 @@ def migration_churn(
     return ThroughputResult(moved_bytes, elapsed)
 
 
+def cache_writeback(
+    stack,
+    file_bytes: int = 8 * MIB,
+    operations: int = 4000,
+    io_size: int = 4096,
+    hot_fraction: int = 8,
+    seed: int = 31,
+) -> Dict[str, int]:
+    """Durable-small-write mix: O_SYNC hot writes over a slow-tier file.
+
+    A file is demoted to the HDD tier and pinned there (a capacity-tier
+    resident that stays put), warmed into the SCM cache with one
+    sequential read pass, then reopened ``O_SYNC`` — the varmail/database
+    commit pattern where every small write must be durable immediately.
+    The measured loop issues block-aligned writes concentrated on a hot
+    1/``hot_fraction`` of the file, mixed with reads.
+
+    With write-back *off*, each O_SYNC write is an individual slow-tier
+    write plus a journal flush.  With write-back *on*, the PM slot store
+    itself satisfies durability, so writes commit at memory speed and
+    dirty runs destage later (writeback budget / close) as coalesced
+    batches with repeat overwrites collapsed — the returned
+    ``hdd_write_ops`` makes the reduction directly comparable.
+    """
+    from repro.core.policy import MigrationOrder
+
+    mux = stack.mux
+    rng = DeterministicRng(seed)
+    if not mux.exists("/wb"):
+        mux.mkdir("/wb")
+    handle = make_file(mux, stack.clock, "/wb/hot", file_bytes)
+    bs = mux.block_size
+    blocks = file_bytes // bs
+    pm, hdd = stack.tier_ids["pm"], stack.tier_ids["hdd"]
+    mux.engine.migrate_now(
+        MigrationOrder(handle.ino, 0, blocks, pm, hdd, reason="wb-demote")
+    )
+    mux.set_placement("/wb/hot", hdd)
+    # warm pass: pull the whole file into the SCM cache
+    read = 0
+    while read < file_bytes:
+        n = min(4 * MIB, file_bytes - read)
+        mux.read(handle, read, n)
+        read += n
+    mux.close(handle)
+    handle = mux.open("/wb/hot", OpenFlags.RDWR | OpenFlags.SYNC)
+    hot_blocks = max(1, blocks // hot_fraction)
+    start_ns = stack.clock.now_ns
+    for _ in range(operations):
+        if rng.random() < 0.8:
+            offset = rng.randint(0, hot_blocks - 1) * bs
+            mux.write(handle, offset, b"\xbe" * io_size)
+        else:
+            offset = rng.randint(0, blocks - 1) * bs
+            mux.read(handle, offset, io_size)
+    mux.close(handle)
+    counters = mux.cache.cache_counters() if mux.cache is not None else {}
+    hdd_stats = stack.devices["hdd"].stats.snapshot()
+    return {
+        "write_hits": counters.get("write_hit", 0),
+        "destage_runs": counters.get("destage_runs", 0),
+        "destaged_blocks": counters.get("destaged_blocks", 0),
+        "dirty_at_end": counters.get("dirty_blocks", 0),
+        "hdd_write_ops": hdd_stats.get("write_ops", 0),
+        "loop_ns": stack.clock.now_ns - start_ns,
+    }
+
+
 def fault_storm(
     stack,
     operations: int = 1200,

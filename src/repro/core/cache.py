@@ -12,13 +12,31 @@ The model does exactly that: at attach time it creates and preallocates
 allocation cost), resolves the file's device blocks once (the "mmap"), and
 thereafter serves hits and fills with raw PM loads/stores plus the small
 bookkeeping costs from :mod:`repro.core.calibration`.
+
+Two optional modes (both default-off so the write-invalidate fingerprints
+stay bit-identical):
+
+* **write-back** (``write_back=True``): writes to cache-resident blocks
+  update the DAX slot in place and mark the block dirty in a per-file
+  :class:`~repro.core.intervals.BlockIntervalSet`; dirty runs are later
+  destaged to the owning slow tier in coalesced batches via the
+  ``destage_fn`` callback installed by the Mux layer (eviction, fsync,
+  close, migration and the writeback budget all trigger it there).
+* **scan resistance** (``scan_resist=True``): per-file sequential-stream
+  detection lets large streaming read misses bypass the fill, so a scan
+  cannot flush the hot set out of the MGLRU (the anti-thrash intent of the
+  kernel's lru_gen).
+
+A per-ino secondary index keeps :meth:`invalidate_file` and
+:meth:`invalidate_range` O(blocks-of-the-file) instead of O(cache).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core import calibration as cal
+from repro.core.intervals import BlockIntervalSet, Run, intersect_runs
 from repro.core.mglru import MultiGenLru
 from repro.devices.pm import PersistentMemoryDevice
 from repro.errors import ReproError
@@ -31,6 +49,14 @@ CACHE_FILE = "/.mux_cache"
 
 CacheKey = Tuple[int, int]  # (mux ino, file block)
 
+#: a cached/uncached segment of a span: (first_block, count, cached)
+SpanRun = Tuple[int, int, bool]
+
+#: destage callback installed by Mux: (ino, dirty runs) -> None.  Must
+#: write the runs to the owning tier(s) and :meth:`mark_clean` what it
+#: managed to persist.
+DestageFn = Callable[[int, List[Run]], None]
+
 
 class ScmCacheManager:
     """Shared block cache in a DAX-mapped file on the SCM tier."""
@@ -42,12 +68,16 @@ class ScmCacheManager:
         capacity_blocks: int,
         block_size: int,
         num_generations: int = 4,
+        write_back: bool = False,
+        scan_resist: bool = False,
     ) -> None:
         if capacity_blocks <= 0:
             raise ValueError("cache needs positive capacity")
         self.clock = clock
         self.block_size = block_size
         self.capacity_blocks = capacity_blocks
+        self.write_back = write_back
+        self.scan_resist = scan_resist
         self.stats = CounterSet()
         self._mglru: MultiGenLru[CacheKey] = MultiGenLru(
             capacity_blocks, num_generations
@@ -55,6 +85,15 @@ class ScmCacheManager:
         #: key -> slot index in the cache file
         self._slots: Dict[CacheKey, int] = {}
         self._free_slots: List[int] = list(range(capacity_blocks - 1, -1, -1))
+        #: ino -> cached file blocks (secondary index for invalidation)
+        self._by_ino: Dict[int, Set[int]] = {}
+        #: ino -> dirty (written-back-pending) blocks; always a subset of
+        #: the cached blocks of that ino
+        self._dirty: Dict[int, BlockIntervalSet] = {}
+        #: ino -> (expected next block, streak length) for scan detection
+        self._streams: Dict[int, Tuple[int, int]] = {}
+        #: installed by Mux once it can route destage writes to tiers
+        self.destage_fn: Optional[DestageFn] = None
         self._pm, self._slot_addrs = self._map_cache_file(scm_fs)
 
     def _map_cache_file(
@@ -69,13 +108,19 @@ class ScmCacheManager:
             scm_fs.unlink(CACHE_FILE)
         handle = scm_fs.create(CACHE_FILE)
         try:
-            # preallocate: write zeros so every slot has a PM block
+            # preallocate: write zeros so every slot has a PM block.  The
+            # chunk buffer is built once — per-iteration ``zero * n``
+            # allocation used to dominate build_stack host time — and the
+            # write calls (offsets and sizes) are unchanged, so the charged
+            # simulated cost is identical.
             zero = bytes(self.block_size)
             chunk_blocks = 256
+            chunk = zero * chunk_blocks
             written = 0
             while written < self.capacity_blocks:
                 n = min(chunk_blocks, self.capacity_blocks - written)
-                scm_fs.write(handle, written * self.block_size, zero * n)
+                buf = chunk if n == chunk_blocks else zero * n
+                scm_fs.write(handle, written * self.block_size, buf)
                 written += n
             inode = scm_fs.inodes.get(handle.ino)
             addrs: List[int] = []
@@ -107,13 +152,29 @@ class ScmCacheManager:
         """Membership probe with no charges or stats (batch-path planning)."""
         return (ino, file_block) in self._slots
 
-    def span_cached(self, ino: int, first_block: int, count: int) -> int:
-        """Length of the contiguous cached prefix of the span (no charges)."""
+    def span_cached(self, ino: int, first_block: int, count: int) -> List[SpanRun]:
+        """Run-length-encoded cached/uncached layout of a span (no charges).
+
+        Returns ``[(start_block, count, cached), ...]`` covering exactly
+        ``[first_block, first_block + count)`` in order, so the read path
+        can serve interior cached runs rather than falling back to
+        per-block probing after the first gap.
+        """
+        out: List[SpanRun] = []
+        if count <= 0:
+            return out
         slots = self._slots
-        n = 0
-        while n < count and (ino, first_block + n) in slots:
-            n += 1
-        return n
+        end = first_block + count
+        run_start = first_block
+        run_cached = (ino, first_block) in slots
+        for fb in range(first_block + 1, end):
+            cached = (ino, fb) in slots
+            if cached != run_cached:
+                out.append((run_start, fb - run_start, run_cached))
+                run_start = fb
+                run_cached = cached
+        out.append((run_start, end - run_start, run_cached))
+        return out
 
     def note_misses(self, count: int) -> None:
         """Account ``count`` lookup probes that missed (batch path).
@@ -158,7 +219,82 @@ class ScmCacheManager:
             pos += len(data)
             i = j
 
+    # -- scan-resistant admission ------------------------------------------
+
+    def observe_span(self, ino: int, first_block: int, count: int) -> None:
+        """Update per-file stream state after a read span completes.
+
+        Called at the *end* of the read path so admission decisions for a
+        span use the pre-span stream state only.
+        """
+        if not self.scan_resist or count <= 0:
+            return
+        prev = self._streams.get(ino)
+        if prev is not None and prev[0] == first_block:
+            streak = prev[1] + count
+        else:
+            streak = count
+        self._streams[ino] = (first_block + count, streak)
+
+    def should_admit(self, ino: int, first_block: int, count: int) -> bool:
+        """Whether a miss run should be filled into the cache (no charges).
+
+        False only when scan resistance is on, the file's sequential
+        streak has reached ``SCAN_RESIST_STREAM_BLOCKS``, the run
+        continues that stream, and the run is at least
+        ``SCAN_RESIST_MIN_RUN`` blocks (large streaming reads bypass the
+        fill; small point reads still cache).
+        """
+        if not self.scan_resist:
+            return True
+        prev = self._streams.get(ino)
+        if (
+            prev is not None
+            and prev[0] == first_block
+            and prev[1] >= cal.SCAN_RESIST_STREAM_BLOCKS
+            and count >= cal.SCAN_RESIST_MIN_RUN
+        ):
+            self.stats.add("admit_bypass", count)
+            return False
+        return True
+
     # -- fills / invalidation ----------------------------------------------------
+
+    def _claim_slot(self, key: CacheKey) -> int:
+        """MGLRU-insert ``key`` (destaging/evicting victims) and assign a slot."""
+        for victim in self._mglru.insert(key):
+            self._release(victim)
+        slot = self._free_slots.pop()
+        self._slots[key] = slot
+        self._by_ino.setdefault(key[0], set()).add(key[1])
+        self.stats.add("fill")
+        return slot
+
+    def _release(self, victim: CacheKey) -> None:
+        """Free an evicted key's slot, destaging it first if dirty."""
+        v_ino, v_fb = victim
+        if self.is_dirty(v_ino, v_fb):
+            if self.destage_fn is not None:
+                try:
+                    self.destage_fn(v_ino, [(v_fb, 1)])
+                except ReproError:
+                    pass
+            if self.is_dirty(v_ino, v_fb):
+                # destage failed (offline tier, no callback): the block is
+                # being evicted, so the absorbed write is lost — modeled
+                # data loss under cache pressure plus tier failure.
+                self.mark_clean(v_ino, v_fb, 1)
+                self.stats.add("destage_lost")
+        self._free_slots.append(self._slots.pop(victim))
+        self._index_remove(v_ino, v_fb)
+        self.stats.add("evict")
+
+    def _index_remove(self, ino: int, file_block: int) -> None:
+        blocks = self._by_ino.get(ino)
+        if blocks is not None:
+            blocks.discard(file_block)
+            if not blocks:
+                del self._by_ino[ino]
 
     def put(self, ino: int, file_block: int, data: bytes) -> None:
         """Insert a (clean) block read from a slow tier."""
@@ -170,12 +306,7 @@ class ScmCacheManager:
         key = (ino, file_block)
         slot = self._slots.get(key)
         if slot is None:
-            for victim in self._mglru.insert(key):
-                self._free_slots.append(self._slots.pop(victim))
-                self.stats.add("evict")
-            slot = self._free_slots.pop()
-            self._slots[key] = slot
-            self.stats.add("fill")
+            slot = self._claim_slot(key)
         addr = self._slot_addrs[slot]
         self._pm.store(addr, data)
         self._pm.flush_range(addr, len(data))
@@ -201,12 +332,7 @@ class ScmCacheManager:
             key = (ino, first_block + i)
             slot = self._slots.get(key)
             if slot is None:
-                for victim in self._mglru.insert(key):
-                    self._free_slots.append(self._slots.pop(victim))
-                    self.stats.add("evict")
-                slot = self._free_slots.pop()
-                self._slots[key] = slot
-                self.stats.add("fill")
+                slot = self._claim_slot(key)
             slots.append(slot)
         src = memoryview(data)
         addrs = self._slot_addrs
@@ -220,14 +346,122 @@ class ScmCacheManager:
             self._pm.flush_range(addr, (j - i) * bs, ops=j - i)
             i = j
 
+    # -- write-back --------------------------------------------------------
+
+    def write_hit(
+        self, ino: int, file_block: int, data: bytes, offset: int = 0
+    ) -> bool:
+        """Absorb a write into a cache-resident block (write-back mode).
+
+        Updates the DAX slot in place (a partial block writes only its
+        byte range) and marks the whole block dirty.  Returns False when
+        write-back is off or the block is not cached — the caller must
+        then take the write-invalidate path.
+        """
+        if not self.write_back:
+            return False
+        key = (ino, file_block)
+        slot = self._slots.get(key)
+        if slot is None:
+            return False
+        if offset < 0 or offset + len(data) > self.block_size:
+            raise ValueError("write_hit must stay inside one block")
+        self.clock.advance_ns(
+            cal.CACHE_LOOKUP_NS + cal.CACHE_MGLRU_NS + cal.CACHE_DIRTY_META_NS
+        )
+        self._mglru.touch(key)
+        addr = self._slot_addrs[slot] + offset
+        self._pm.store(addr, bytes(data))
+        self._pm.flush_range(addr, len(data))
+        self._dirty.setdefault(ino, BlockIntervalSet()).add(file_block)
+        self.stats.add("write_hit")
+        return True
+
+    def is_dirty(self, ino: int, file_block: int) -> bool:
+        dirty = self._dirty.get(ino)
+        return dirty is not None and file_block in dirty
+
+    def dirty_runs(self, ino: int) -> List[Run]:
+        """The file's dirty blocks as sorted (start, length) runs."""
+        dirty = self._dirty.get(ino)
+        return dirty.runs() if dirty is not None else []
+
+    def dirty_runs_in(self, ino: int, first_block: int, count: int) -> List[Run]:
+        """Dirty runs of ``ino`` intersected with ``[first_block, +count)``."""
+        dirty = self._dirty.get(ino)
+        if dirty is None or count <= 0:
+            return []
+        return intersect_runs(dirty.runs(), [(first_block, count)])
+
+    def dirty_files(self) -> List[int]:
+        """Inos with at least one dirty block, ascending."""
+        return sorted(self._dirty)
+
+    @property
+    def dirty_block_count(self) -> int:
+        return sum(len(d) for d in self._dirty.values())
+
+    def mark_clean(self, ino: int, first_block: int, count: int) -> None:
+        """Clear dirty marks after a destage persisted the blocks."""
+        dirty = self._dirty.get(ino)
+        if dirty is None:
+            return
+        dirty.remove_range(first_block, count)
+        if not dirty:
+            del self._dirty[ino]
+
+    def load_for_destage(self, ino: int, first_block: int, count: int) -> bytes:
+        """Read ``count`` consecutive cached blocks for writeback.
+
+        Charges per-block lookups plus coalesced PM loads, but does *not*
+        touch the MGLRU or count hits: a destage is bookkeeping traffic,
+        not an access that should renew the blocks' recency.
+        """
+        self.clock.advance_ns(count * cal.CACHE_LOOKUP_NS)
+        bs = self.block_size
+        addrs = self._slot_addrs
+        slots = [self._slots[(ino, first_block + i)] for i in range(count)]
+        out = bytearray(count * bs)
+        i = 0
+        pos = 0
+        while i < count:
+            j = i + 1
+            while j < count and addrs[slots[j]] == addrs[slots[j - 1]] + bs:
+                j += 1
+            data = self._pm.load_run(addrs[slots[i]], j - i, bs)
+            out[pos : pos + len(data)] = data
+            pos += len(data)
+            i = j
+        return bytes(out)
+
+    def note_destage(self, runs: int, blocks: int) -> None:
+        """Record a completed destage batch (counters only, no charges)."""
+        if runs:
+            self.stats.add("destage_runs", runs)
+        if blocks:
+            self.stats.add("destaged_blocks", blocks)
+
+    # -- invalidation ------------------------------------------------------
+
     def invalidate(self, ino: int, file_block: int) -> bool:
-        """Drop a block (called on writes so the cache never serves stale data)."""
+        """Drop a block (called on writes so the cache never serves stale data).
+
+        A dirty mark on the block is dropped with it: invalidation means
+        the backing range itself is being rewritten, truncated or punched,
+        so the absorbed data is obsolete, not lost.
+        """
         key = (ino, file_block)
         slot = self._slots.pop(key, None)
         if slot is None:
             return False
         self._mglru.remove(key)
         self._free_slots.append(slot)
+        self._index_remove(ino, file_block)
+        dirty = self._dirty.get(ino)
+        if dirty is not None:
+            dirty.remove_range(file_block, 1)
+            if not dirty:
+                del self._dirty[ino]
         self.stats.add("invalidate")
         return True
 
@@ -235,35 +469,35 @@ class ScmCacheManager:
         """Drop every cached block of ``ino`` in [first_block, +count).
 
         Equivalent to calling :meth:`invalidate` per block in ascending
-        order, but skips the per-block scan when the range dwarfs the
-        cache's population.
+        order; the per-ino index makes it O(blocks-of-the-file) however
+        large the cache population or the range.
         """
         if count <= 0:
             return 0
+        blocks = self._by_ino.get(ino)
+        if not blocks:
+            return 0
         end = first_block + count
-        if len(self._slots) < count:
-            targets = sorted(
-                fb
-                for (i, fb) in self._slots
-                if i == ino and first_block <= fb < end
-            )
+        if len(blocks) < count:
+            targets = sorted(fb for fb in blocks if first_block <= fb < end)
         else:
-            targets = [
-                fb
-                for fb in range(first_block, end)
-                if (ino, fb) in self._slots
-            ]
+            targets = [fb for fb in range(first_block, end) if fb in blocks]
         for fb in targets:
             self.invalidate(ino, fb)
         return len(targets)
 
     def invalidate_file(self, ino: int) -> int:
         """Drop every cached block of a file (unlink/truncate)."""
-        dropped = 0
-        for key in [k for k in self._slots if k[0] == ino]:
-            self.invalidate(key[0], key[1])
-            dropped += 1
-        return dropped
+        blocks = self._by_ino.get(ino)
+        if not blocks:
+            self._streams.pop(ino, None)
+            self._dirty.pop(ino, None)  # defensive: orphaned marks die too
+            return 0
+        targets = sorted(blocks)
+        for fb in targets:
+            self.invalidate(ino, fb)
+        self._streams.pop(ino, None)
+        return len(targets)
 
     # -- introspection -----------------------------------------------------------
 
@@ -276,9 +510,28 @@ class ScmCacheManager:
         total = hits + self.stats.get("miss")
         return hits / total if total else 0.0
 
+    def cache_counters(self) -> Dict[str, int]:
+        """Stats snapshot plus the current dirty-block gauge."""
+        counters = dict(self.stats.snapshot())
+        counters["dirty_blocks"] = self.dirty_block_count
+        return counters
+
     def check_invariants(self) -> None:
         self._mglru.check_invariants()
         assert len(self._slots) + len(self._free_slots) == self.capacity_blocks
         assert len(set(self._slots.values())) == len(self._slots)
         for key in self._slots:
             assert key in self._mglru
+        # the per-ino index is exactly the slot keys, grouped
+        indexed = {
+            (ino, fb) for ino, blocks in self._by_ino.items() for fb in blocks
+        }
+        assert indexed == set(self._slots)
+        assert all(self._by_ino.values()), "index keeps no empty entries"
+        # dirty blocks are cache-resident and only exist in write-back mode
+        for ino, dirty in self._dirty.items():
+            assert dirty, "no empty dirty sets"
+            assert self.write_back
+            cached = self._by_ino.get(ino, set())
+            for fb in dirty:
+                assert fb in cached, f"dirty block ({ino}, {fb}) not cached"

@@ -89,6 +89,30 @@ CACHE_SLOT_META_NS = 150
 #: (caching PM-resident data in a PM cache is pointless).
 CACHE_MIN_RANK_GAP = 1
 
+#: Dirty-interval bookkeeping per write absorbed in place by the cache
+#: (write-back mode): interval insert + persisted dirty tag on PM.
+CACHE_DIRTY_META_NS = 160
+
+#: Dispatch cost per coalesced destage run (building the slow-tier write
+#: request for one contiguous dirty extent).
+CACHE_DESTAGE_RUN_NS = 400
+
+#: Simulated-time writeback budget: destage all dirty blocks once at least
+#: this much simulated time has passed since the previous destage cycle.
+CACHE_WRITEBACK_INTERVAL_NS = 2_000_000
+
+#: Destage everything once dirty blocks exceed this fraction of cache
+#: capacity (pressure trigger, independent of the time budget).
+CACHE_WRITEBACK_MAX_DIRTY_FRAC = 0.25
+
+#: Scan-resistant admission: a per-file sequential streak at least this
+#: many blocks long marks the stream as a scan.
+SCAN_RESIST_STREAM_BLOCKS = 256
+
+#: ... and miss runs at least this large within a detected scan bypass the
+#: cache fill (small point reads still cache even mid-scan).
+SCAN_RESIST_MIN_RUN = 8
+
 # ---------------------------------------------------------------------------
 # OCC migration (§2.4)
 # ---------------------------------------------------------------------------

@@ -79,6 +79,35 @@ class BlockIntervalSet:
         for b in blocks:
             self.add(b)
 
+    def discard(self, block: int) -> None:
+        self.remove_range(block, 1)
+
+    def remove_range(self, start: int, count: int) -> None:
+        """Remove ``[start, start+count)``, splitting intervals as needed."""
+        if count <= 0:
+            return
+        end = start + count
+        ivals = self._ivals
+        lo, hi = 0, len(ivals)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if ivals[mid][1] <= start:
+                lo = mid + 1
+            else:
+                hi = mid
+        first = lo
+        last = first
+        replacement: List[Interval] = []
+        while last < len(ivals) and ivals[last][0] < end:
+            s, e = ivals[last]
+            if s < start:
+                replacement.append((s, start))
+            if e > end:
+                replacement.append((end, e))
+            last += 1
+        if last > first:
+            ivals[first:last] = replacement
+
     def clear(self) -> None:
         self._ivals.clear()
 

@@ -155,6 +155,8 @@ class MuxFileSystem(FileSystem):
         blt_factory=ExtentBlt,
         enable_cache: bool = True,
         cache_fraction: float = 0.25,
+        cache_write_back: bool = False,
+        cache_scan_resist: bool = False,
         scheduler: Optional[IoScheduler] = None,
     ) -> None:
         self.vfs = vfs
@@ -163,6 +165,11 @@ class MuxFileSystem(FileSystem):
         self.blt_factory = blt_factory
         self.enable_cache = enable_cache
         self.cache_fraction = cache_fraction
+        self.cache_write_back = cache_write_back
+        self.cache_scan_resist = cache_scan_resist
+        #: next simulated-time writeback deadline (lazily armed on the
+        #: first absorbed write)
+        self._next_writeback_ns: Optional[int] = None
         self.scheduler = scheduler if scheduler is not None else IoScheduler()
         self.registry = TierRegistry()
         self.ns = MuxNamespace(clock.now())
@@ -272,7 +279,9 @@ class MuxFileSystem(FileSystem):
                 self.vfs.close(handle)
             inode.tiers_present.discard(tier_id)
         if self.cache is not None and victim.kind is DeviceKind.PERSISTENT_MEMORY:
-            # the cache lived on the departing tier; drop it
+            # the cache lived on the departing tier: write every absorbed
+            # block back before its PM slots disappear, then drop it
+            self._destage_all(durable=True)
             self.cache = None
             self._cache_tier_rank = 0
         self.registry.remove(tier_id)
@@ -310,8 +319,14 @@ class MuxFileSystem(FileSystem):
             free_blocks = scm.fs.statfs().free_blocks
             capacity = max(16, int(free_blocks * self.cache_fraction))
             self.cache = ScmCacheManager(
-                self.clock, scm.fs, capacity, self.block_size
+                self.clock,
+                scm.fs,
+                capacity,
+                self.block_size,
+                write_back=self.cache_write_back,
+                scan_resist=self.cache_scan_resist,
             )
+            self.cache.destage_fn = self._destage_evicted
             self._cache_tier_rank = scm.rank
 
     def tier_ids(self) -> List[int]:
@@ -566,6 +581,13 @@ class MuxFileSystem(FileSystem):
 
     def close(self, handle: FileHandle) -> None:
         handle.ensure_open()
+        if self.cache is not None and self.cache.write_back:
+            try:
+                inode = self.ns.get(handle.ino)
+            except FileNotFound:
+                inode = None
+            if inode is not None and not inode.is_dir:
+                self._destage_file(inode, durable=True)
         handle.mark_closed()
         self.stats.add("close")
 
@@ -751,13 +773,16 @@ class MuxFileSystem(FileSystem):
     ) -> None:
         """Serve one sub-request, through the SCM cache when applicable.
 
-        Hits and misses are handled run-at-a-time: consecutive cached
-        blocks go through :meth:`ScmCacheManager.get_many`, a contiguous
-        miss run is one ``vfs.read`` sized to the file plus one
+        Hits and misses are handled run-at-a-time from the cache's
+        run-length-encoded span layout: consecutive cached blocks go
+        through :meth:`ScmCacheManager.get_many`, a contiguous miss run is
+        one ``vfs.read`` sized to the file plus one
         :meth:`~ScmCacheManager.put_many`.  The charge sequence matches
         the scalar per-block path exactly (the first hit after a miss run
         is still fetched singly before the misses flush, as the per-block
-        loop did).
+        loop did), and the layout is recomputed after every fill — the
+        fill's MGLRU evictions may push later blocks of this very span
+        out, which the per-block loop saw via its live membership probes.
         """
         if self.cache is None or not self._cacheable(tier):
 
@@ -789,34 +814,39 @@ class MuxFileSystem(FileSystem):
             raw = self._tier_io(tier, fetch)
             if len(raw) < n * bs:
                 raw += bytes(n * bs - len(raw))
-            cache.put_many(ino, start_fb, raw)
+            if cache.should_admit(ino, start_fb, n):
+                cache.put_many(ino, start_fb, raw)
             lo = max(req.offset, start_fb * bs)
             hi = min(req.offset + req.length, (start_fb + n) * bs)
             dst = req.buffer_offset + (lo - req.offset)
             out[dst : dst + hi - lo] = raw[lo - start_fb * bs : hi - start_fb * bs]
 
-        fb = first_fb
-        miss_start = 0
-        miss_n = 0
-        while fb <= last_fb:
-            if cache.contains(ino, fb):
-                if miss_n:
-                    block = cache.get(ino, fb)
-                    self._copy_block_to_out(block, fb, req, out)
-                    flush_misses(miss_start, miss_n)
-                    miss_n = 0
-                    fb += 1
+        end_fb = last_fb + 1
+        pending: Optional[Tuple[int, int]] = None
+        layout = cache.span_cached(ino, first_fb, end_fb - first_fb)
+        idx = 0
+        while idx < len(layout):
+            start, n, cached = layout[idx]
+            idx += 1
+            if not cached:
+                pending = (start, n)
+                continue
+            if pending is not None:
+                block = cache.get(ino, start)
+                self._copy_block_to_out(block, start, req, out)
+                flush_misses(*pending)
+                pending = None
+                # the fill may have evicted later blocks of this span
+                if start + 1 < end_fb:
+                    layout = cache.span_cached(ino, start + 1, end_fb - start - 1)
+                    idx = 0
                 else:
-                    run = cache.span_cached(ino, fb, last_fb - fb + 1)
-                    self._hit_run(inode, fb, run, req, out)
-                    fb += run
-            else:
-                if miss_n == 0:
-                    miss_start = fb
-                miss_n += 1
-                fb += 1
-        if miss_n:
-            flush_misses(miss_start, miss_n)
+                    break
+                continue
+            self._hit_run(inode, start, n, req, out)
+        if pending is not None:
+            flush_misses(*pending)
+        cache.observe_span(ino, first_fb, end_fb - first_fb)
 
     def _hit_run(
         self,
@@ -874,6 +904,196 @@ class MuxFileSystem(FileSystem):
             and tier.rank >= self._cache_tier_rank + cal.CACHE_MIN_RANK_GAP
         )
 
+    # -- write-back cache: absorption + destaging ---------------------------
+
+    def _absorb_write(
+        self, inode: CollectiveInode, offset: int, data: bytes
+    ) -> Optional[int]:
+        """Absorb a write into the SCM cache if every touched block allows it.
+
+        All-or-nothing: every block must be cache-resident and mapped to a
+        cacheable (slow) tier, and no migration may be in flight — a
+        partially absorbed write would split one write's durability story
+        across two paths, and absorbing during a migration could race the
+        OCC commit.  Returns the owning tier of the last block (for
+        metadata affinity) on success, else None.
+        """
+        cache = self.cache
+        if cache is None or not cache.write_back:
+            return None
+        if inode.migration_active or inode.locked:
+            return None
+        bs = self.block_size
+        first_fb = offset // bs
+        last_fb = (offset + len(data) - 1) // bs
+        last_tier: Optional[int] = None
+        covered = 0
+        for run_start, run_len, tier_id in inode.blt.runs(
+            first_fb, last_fb - first_fb + 1
+        ):
+            if tier_id is None or not self._cacheable(self.registry.get(tier_id)):
+                return None
+            covered += run_len
+            last_tier = tier_id
+        if covered != last_fb - first_fb + 1 or last_tier is None:
+            return None
+        for fb in range(first_fb, last_fb + 1):
+            if not cache.contains(inode.ino, fb):
+                return None
+        view = memoryview(data)
+        end = offset + len(data)
+        for fb in range(first_fb, last_fb + 1):
+            block_lo = fb * bs
+            lo = max(offset, block_lo)
+            hi = min(end, block_lo + bs)
+            cache.write_hit(
+                inode.ino, fb, bytes(view[lo - offset : hi - offset]), lo - block_lo
+            )
+        return last_tier
+
+    def _destage_blocks(
+        self,
+        inode: CollectiveInode,
+        runs: List[Tuple[int, int]],
+        defer_offline: bool = False,
+        durable: bool = False,
+    ) -> int:
+        """Write dirty cached runs back to their owning tiers.
+
+        Runs are split by BLT ownership and issued as one coalesced tier
+        write per contiguous extent.  ``defer_offline=True`` (fsync/close/
+        budget paths) skips runs whose owner is offline, leaving them
+        dirty for a later cycle; with ``False`` (eviction/migration) the
+        tier I/O raises and the caller decides.
+
+        ``durable=True`` fsyncs each written tier afterwards: the dirty
+        copy was durable on PM, so a destage that parks the bytes in a
+        slow tier's volatile page cache would *lose* durability.  Callers
+        whose own epilogue already flushes the tiers (``fsync`` fan-out,
+        ``sync``) pass False and skip the double flush.  Returns blocks
+        destaged.
+        """
+        cache = self.cache
+        if cache is None or not runs:
+            return 0
+        bs = self.block_size
+        destaged = 0
+        nruns = 0
+        touched: Dict[int, Tier] = {}
+        for start, count in runs:
+            for run_start, run_len, tier_id in list(inode.blt.runs(start, count)):
+                if tier_id is None:
+                    # the range was unmapped since absorption (truncate or
+                    # punch already invalidated; defensive)
+                    cache.mark_clean(inode.ino, run_start, run_len)
+                    continue
+                want = min(run_len * bs, inode.size - run_start * bs)
+                if want <= 0:
+                    cache.mark_clean(inode.ino, run_start, run_len)
+                    continue
+                tier = self.registry.get(tier_id)
+                if defer_offline and tier.health.is_offline:
+                    self.stats.add("destage_deferred", run_len)
+                    continue
+                self.clock.advance_ns(cal.CACHE_DESTAGE_RUN_NS)
+                payload = cache.load_for_destage(inode.ino, run_start, run_len)
+
+                def op(t: Tier = tier, off: int = run_start * bs,
+                       buf: bytes = payload[:want]) -> None:
+                    self.clock.advance_ns(cal.MUX_DISPATCH_NS)
+                    tier_handle = self._tier_handle(inode, t, create=True)
+                    self.vfs.write(tier_handle, off, buf)
+
+                self._tier_io(tier, op)
+                cache.mark_clean(inode.ino, run_start, run_len)
+                touched[tier_id] = tier
+                destaged += run_len
+                nruns += 1
+        if durable:
+            for tier_id in sorted(touched):
+                try:
+                    self.tier_fsync(inode, tier_id)
+                except TierUnavailable:
+                    # the tier died between the write and its flush; the
+                    # blocks are marked clean but may be volatile there —
+                    # recovery resolves via fsck's cache reconciliation
+                    self.stats.add("destage_flush_failed")
+        cache.note_destage(nruns, destaged)
+        return destaged
+
+    def _destage_evicted(self, ino: int, runs: List[Tuple[int, int]]) -> None:
+        """Destage callback the cache invokes before evicting dirty blocks."""
+        try:
+            inode = self.ns.get(ino)
+        except FileNotFound:
+            return  # unlink already dropped the dirty marks
+        self._destage_blocks(inode, runs, durable=True)
+
+    def _destage_file(self, inode: CollectiveInode, durable: bool = False) -> int:
+        """Destage every dirty block of one file (fsync/close paths)."""
+        cache = self.cache
+        if cache is None or not cache.write_back:
+            return 0
+        runs = cache.dirty_runs(inode.ino)
+        if not runs:
+            return 0
+        return self._destage_blocks(
+            inode, runs, defer_offline=True, durable=durable
+        )
+
+    def _destage_all(self, durable: bool = False) -> int:
+        """Destage every dirty block in the cache (sync/budget paths)."""
+        cache = self.cache
+        if cache is None or not cache.write_back:
+            return 0
+        total = 0
+        for ino in cache.dirty_files():
+            try:
+                inode = self.ns.get(ino)
+            except FileNotFound:
+                cache.invalidate_file(ino)  # defensive: unlink cleans up
+                continue
+            total += self._destage_blocks(
+                inode, cache.dirty_runs(ino), defer_offline=True, durable=durable
+            )
+        return total
+
+    def destage_for_migration(
+        self, inode: CollectiveInode, block_start: int, count: int
+    ) -> None:
+        """OCC pre-step: flush absorbed writes in the range to the source.
+
+        Called by :class:`~repro.core.occ.OccSynchronizer` before the first
+        attempt so the source tier holds the authoritative bytes the copy
+        phase reads; absorption is refused while ``migration_active`` is
+        set, so no new dirty blocks can appear mid-migration and a destage
+        never races ``blt_commit_move``.
+        """
+        cache = self.cache
+        if cache is None or not cache.write_back:
+            return
+        runs = cache.dirty_runs_in(inode.ino, block_start, count)
+        if runs:
+            self._destage_blocks(inode, runs, durable=True)
+
+    def _maybe_writeback(self) -> None:
+        """Destage everything when the dirty set or the sim clock says so."""
+        cache = self.cache
+        if cache is None or not cache.write_back:
+            return
+        dirty = cache.dirty_block_count
+        if not dirty:
+            return
+        now = self.clock.now_ns
+        if self._next_writeback_ns is None:
+            self._next_writeback_ns = now + cal.CACHE_WRITEBACK_INTERVAL_NS
+        threshold = cal.CACHE_WRITEBACK_MAX_DIRTY_FRAC * cache.capacity_blocks
+        if dirty >= threshold or now >= self._next_writeback_ns:
+            self._destage_all(durable=True)
+            self._next_writeback_ns = (
+                self.clock.now_ns + cal.CACHE_WRITEBACK_INTERVAL_NS
+            )
+
     def write(self, handle: FileHandle, offset: int, data: bytes) -> int:
         handle.ensure_open()
         if not OpenFlags.writable(handle.flags):
@@ -897,6 +1117,40 @@ class MuxFileSystem(FileSystem):
 
         if self.qos is not None:
             self.qos.charge(handle, len(data))
+
+        # write-back fast path: if every touched block is resident in the
+        # SCM cache (and stably mapped to a slow tier), absorb the write
+        # in place on PM and destage later in coalesced batches
+        absorb_tier = self._absorb_write(inode, offset, data)
+        if absorb_tier is not None:
+            self.policy.on_access(
+                inode.ino,
+                first_fb,
+                nblocks,
+                absorb_tier,
+                "write",
+                self.clock.now(),
+            )
+            now = self.clock.now()
+            if offset + len(data) > inode.size:
+                inode.size = offset + len(data)
+                inode.affinity.set_owner("size", absorb_tier)
+            inode.mtime = inode.ctime = now
+            inode.affinity.set_owner("mtime", absorb_tier)
+            inode.affinity.set_owner("ctime", absorb_tier)
+            self.clock.advance_ns(cal.MUX_AFFINITY_NS)
+            if self._meta is not None:
+                self._meta.note(1)
+            self._maybe_writeback()
+            # O_SYNC is already satisfied: the slot store + flush_range in
+            # write_hit made the data durable on PM, which is exactly the
+            # absorption win (§2.5) — synchronous small writes commit at
+            # memory speed and destage to the slow tier in batches later
+            self.stats.add("write")
+            self.stats.add("writes_absorbed")
+            self.stats.add("bytes_written", len(data))
+            self._record_latency("write", op_started_ns)
+            return len(data)
 
         # placement: one policy decision per write (§2.1); TPFS-style
         # policies route on I/O size *and* synchronicity.  Per-file pins
@@ -1162,6 +1416,11 @@ class MuxFileSystem(FileSystem):
         handle.ensure_open()
         inode = self.ns.get(handle.ino)
         self._charge_base()
+        if self.cache is not None and self.cache.write_back and not inode.is_dir:
+            # absorbed writes must reach their owning tiers before those
+            # tiers' fsyncs below make them durable (the destage registers
+            # the tier handle, so the fsync fan-out covers it)
+            self._destage_file(inode)
         if self._meta is not None:
             # the per-tier fsyncs below commit the meta tier's journal too
             self._meta.flush(durable=False)
@@ -1399,6 +1658,14 @@ class MuxFileSystem(FileSystem):
                 f"{self.cache.capacity_blocks} blocks, "
                 f"hit ratio {self.cache.hit_ratio():.2f}"
             )
+            if self.cache.write_back:
+                counters = self.cache.cache_counters()
+                lines.append(
+                    f"  write-back: {counters.get('write_hit', 0)} absorbed, "
+                    f"{counters.get('destage_runs', 0)} destage runs "
+                    f"({counters.get('destaged_blocks', 0)} blocks), "
+                    f"{counters.get('dirty_blocks', 0)} dirty"
+                )
         engine = self.engine.stats
         lines.append(
             f"  migrations: {engine.get('migrations')} runs, "
@@ -1440,6 +1707,7 @@ class MuxFileSystem(FileSystem):
     # ==================================================================
 
     def sync(self) -> None:
+        self._destage_all()
         if self._meta is not None:
             self._meta.flush()
         for tier in self.registry.ordered():

@@ -76,6 +76,20 @@ class MigrationIo(Protocol):
         self, inode: CollectiveInode, runs: List[Run], src_tier: int, dst_tier: int
     ) -> None: ...
 
+    def destage_for_migration(
+        self, inode: CollectiveInode, block_start: int, count: int
+    ) -> None:
+        """Write back any dirty write-back cache blocks in the range.
+
+        Optional (looked up with ``getattr``): implementations without a
+        write-back cache may omit it.  Called once before the first OCC
+        attempt — absorption is refused while ``migration_active`` is set
+        and the synchronizer never yields between validation and the next
+        attempt's flag set, so one destage up front is sufficient for a
+        destage never to race :meth:`blt_commit_move`.
+        """
+        ...
+
 
 @dataclass
 class MigrationResult:
@@ -131,6 +145,9 @@ class OccSynchronizer:
         result = MigrationResult()
         if src_tier == dst_tier or count <= 0:
             return result
+        destage = getattr(self.io, "destage_for_migration", None)
+        if destage is not None:
+            destage(inode, block_start, count)
         targets = self._runs_on_src(inode, [(block_start, count)], src_tier)
         result.skipped_blocks = count - runs_length(targets)
 

@@ -69,6 +69,8 @@ def build_stack(
     capacities: Optional[Dict[str, int]] = None,
     policy: Optional[Policy] = None,
     enable_cache: bool = True,
+    cache_write_back: bool = False,
+    cache_scan_resist: bool = False,
     scheduler: Optional[IoScheduler] = None,
     blt_factory=None,
     clock: Optional[SimClock] = None,
@@ -103,6 +105,8 @@ def build_stack(
         clock,
         policy=policy,
         enable_cache=enable_cache,
+        cache_write_back=cache_write_back,
+        cache_scan_resist=cache_scan_resist,
         scheduler=scheduler,
         **kwargs,
     )

@@ -10,7 +10,14 @@ can see on its own:
 * ``check_mux`` — the Block Lookup Table vs. reality: every BLT-mapped
   block's tier actually holds that block in the backing sparse file; the
   per-tier block accounting matches; affinity owners are registered
-  tiers; no file is stuck in a migration state.
+  tiers; no file is stuck in a migration state; dirty write-back cache
+  blocks reference live files, resident slots and registered destage
+  targets.
+* ``reconcile_cache`` — post-crash repair: the SCM cache file lives on
+  PM, so absorbed-but-not-destaged writes legally survive a crash as
+  dirty slots.  Recovery must push them to their owning tiers (or drop
+  marks whose file died) before the cache can serve write-back traffic
+  again.
 
 Each checker returns a list of human-readable problem strings (empty =
 clean), so tests can assert emptiness and operators can print reports.
@@ -21,6 +28,7 @@ from __future__ import annotations
 from typing import Dict, List, Set
 
 from repro.core.mux import MuxFileSystem
+from repro.errors import FileNotFound
 from repro.fscommon.basefs import NativeFileSystem
 from repro.fscommon.journaledfs import JournaledFileSystem
 from repro.vfs import path as vpath
@@ -199,7 +207,82 @@ def check_mux(mux: MuxFileSystem, deep: bool = True) -> List[str]:
         problems += _check_tier_health(mux, inode, label)
         if deep:
             problems += _check_backing_blocks(mux, inode, label)
+    problems += _check_cache_dirty(mux)
     return problems
+
+
+def _check_cache_dirty(mux: MuxFileSystem) -> List[str]:
+    """Dirty write-back blocks must be destageable.
+
+    A crash with dirty SCM blocks is *legal* — the cache file is on PM,
+    so the data is durable — but each dirty mark must still point at a
+    live file, a resident cache slot, and a registered owning tier, or
+    the eventual destage has nowhere sound to go.
+    """
+    cache = mux.cache
+    if cache is None:
+        return []
+    problems: List[str] = []
+    try:
+        cache.check_invariants()
+    except AssertionError as exc:
+        problems.append(f"cache: invariant violated: {exc}")
+    tier_ids = set(mux.tier_ids())
+    for ino in cache.dirty_files():
+        if not cache.write_back:
+            problems.append(
+                f"cache: ino {ino} has dirty blocks but write-back is off"
+            )
+        try:
+            inode = mux.ns.get(ino)
+        except FileNotFound:
+            stranded = sum(count for _, count in cache.dirty_runs(ino))
+            problems.append(
+                f"cache: {stranded} dirty block(s) for dead ino {ino}"
+            )
+            continue
+        label = inode.rel_path or f"ino {ino}"
+        for start, count in cache.dirty_runs(ino):
+            for run_start, run_len, tier_id in inode.blt.runs(start, count):
+                if tier_id is None:
+                    problems.append(
+                        f"{label}: dirty run [{run_start},+{run_len}) has "
+                        f"no owning tier to destage to"
+                    )
+                elif tier_id not in tier_ids:
+                    problems.append(
+                        f"{label}: dirty run [{run_start},+{run_len}) owned "
+                        f"by unknown tier {tier_id}"
+                    )
+            for fb in range(start, start + count):
+                if not cache.contains(ino, fb):
+                    problems.append(
+                        f"{label}: dirty block {fb} has no resident cache slot"
+                    )
+    return problems
+
+
+def reconcile_cache(mux: MuxFileSystem) -> int:
+    """Destage every dirty block that survived a crash; returns blocks handled.
+
+    Dirty marks whose file no longer exists are dropped (the unlink won);
+    everything else is written back to its owning tier and flushed, so the
+    recovered stack starts with a clean cache.  Offline tiers keep their
+    blocks dirty for a later evacuation or reattach cycle.
+    """
+    cache = mux.cache
+    if cache is None or not cache.write_back:
+        return 0
+    reconciled = 0
+    for ino in cache.dirty_files():
+        try:
+            inode = mux.ns.get(ino)
+        except FileNotFound:
+            reconciled += sum(count for _, count in cache.dirty_runs(ino))
+            cache.invalidate_file(ino)
+            continue
+        reconciled += mux._destage_file(inode, durable=True)
+    return reconciled
 
 
 def _check_tier_health(mux: MuxFileSystem, inode, label: str) -> List[str]:

@@ -200,11 +200,19 @@ class TestScmCacheSpans:
         assert sorted(scalar._slots) == sorted(span._slots)
         assert scalar.stats.get("invalidate") == span.stats.get("invalidate")
 
-    def test_span_cached_stops_at_gap(self, pair):
+    def test_span_cached_returns_full_layout(self, pair):
         scalar, _, _ = pair
         scalar.put_many(5, 0, block(0) + block(1))
         scalar.put(5, 3, block(3))
-        assert scalar.span_cached(5, 0, 4) == 2
+        # interior cached runs are visible past the first gap (RLE layout)
+        assert scalar.span_cached(5, 0, 4) == [
+            (0, 2, True),
+            (2, 1, False),
+            (3, 1, True),
+        ]
+        assert scalar.span_cached(5, 0, 2) == [(0, 2, True)]
+        assert scalar.span_cached(5, 2, 1) == [(2, 1, False)]
+        assert scalar.span_cached(5, 9, 0) == []
         assert scalar.contains(5, 3)
         assert not scalar.contains(5, 2)
 
