@@ -1,11 +1,17 @@
 """Ablation (§4): the device-profile I/O scheduler on a split read.
 
-In a serial deterministic simulation, reordering independent sub-requests
-cannot change the *total* time of one read — what the scheduler buys is
-**response ordering**: fast-tier sub-requests are dispatched first, so the
-PM/SSD-resident portion of a split read is available long before the HDD
-portion.  We measure the simulated time until the fast tier's data has
-been served, with the scheduler on vs off (FIFO in file order).
+This ablation isolates the *serial* dispatch model (``parallel=False``):
+with sub-requests charged one after another, reordering cannot change the
+total time of one read — what the scheduler buys is **response ordering**:
+fast-tier sub-requests are dispatched first, so the PM/SSD-resident
+portion of a split read is available long before the HDD portion.  We
+measure the simulated time until the fast tier's data has been served,
+with the scheduler on vs off (FIFO in file order).
+
+With the parallel engine (the default elsewhere) this effect disappears
+by construction: every sub-request completes on its own device timeline,
+so the PM portion arrives early regardless of dispatch order — see the
+``parallel_stripe`` wallclock workload for that comparison.
 """
 
 from repro.core.policy import MigrationOrder
@@ -20,7 +26,7 @@ def fast_data_service_time(enabled: bool) -> dict:
     stack = build_stack(
         capacities={"pm": 64 * MIB, "ssd": 128 * MIB, "hdd": 256 * MIB},
         enable_cache=False,
-        scheduler=IoScheduler(enabled=enabled),
+        scheduler=IoScheduler(enabled=enabled, parallel=False),
     )
     mux = stack.mux
     handle = mux.create("/split")

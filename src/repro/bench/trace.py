@@ -332,6 +332,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"gave_up={engine.get('gave_up')}"
     )
 
+    sched = stack.mux.scheduler.snapshot()
+    tiers = ", ".join(
+        f"t{tid}:{n}" for tid, n in sched["tier_dispatches"].items()
+    )
+    print(
+        f"scheduler: dispatches={sched['dispatches']} merges={sched['merges']} "
+        f"batches={sched['batches']} per-tier=[{tiers}]"
+    )
+    now_ns = stack.clock.now_ns
+    for name, device in sorted(stack.devices.items()):
+        tl = device.timeline.snapshot()
+        print(
+            f"device {name}: channels={tl['channels']} fg_ops={tl['fg_ops']} "
+            f"bg_ops={tl['bg_ops']} max_queued={tl['max_queued']} "
+            f"wait_ns={tl['wait_ns']} "
+            f"util={device.timeline.utilization(now_ns):.4f}"
+        )
+
     healthy = build_stack()
     result = replay(trace, healthy.mux, healthy.clock)
     print(

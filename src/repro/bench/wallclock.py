@@ -44,7 +44,9 @@ from repro.bench.workloads import (
     migration_churn,
     sequential_read,
     sequential_write,
+    striped_reads,
 )
+from repro.core.scheduler import IoScheduler
 from repro.devices.faults import FaultConfig
 from repro.stack import Stack, build_stack
 
@@ -307,6 +309,51 @@ def _wl_cache_writeback(smoke: bool) -> Dict[str, object]:
     }
 
 
+def _wl_parallel_stripe(smoke: bool) -> Dict[str, object]:
+    """Striped cross-tier reads: the parallel engine vs the serial model.
+
+    The same workload runs on two stacks — parallel dispatch (the
+    default) and the serial ablation (``IoScheduler(parallel=False)``) —
+    and the headline number is the per-read latency ratio.  The
+    fingerprint pins the parallel stack plus the serial stack's final
+    clock, so drift in *either* dispatch model trips the smoke guard.
+    """
+    size, reads = (2 * MIB, 2) if smoke else (16 * MIB, 4)
+    results: Dict[str, float] = {}
+    serial_now_ns = 0
+    fingerprint: Dict[str, object] = {}
+    wall = 0.0
+    for mode, parallel in (("parallel", True), ("serial", False)):
+        stack = build_stack(
+            tiers=["pm", "ssd"],
+            enable_cache=False,
+            scheduler=IoScheduler(parallel=parallel),
+        )
+        tier_ids = [stack.tier_id(n) for n in ("pm", "ssd")]
+        t0 = time.perf_counter()
+        res = striped_reads(stack, tier_ids, file_bytes=size, reads=reads)
+        wall += time.perf_counter() - t0
+        results[mode] = res.mean_ns
+        if parallel:
+            fingerprint = _mux_fingerprint(stack)
+        else:
+            serial_now_ns = stack.clock.now_ns
+    fingerprint["serial_now_ns"] = serial_now_ns
+    speedup = results["serial"] / results["parallel"] if results["parallel"] else 0.0
+    return {
+        "wall_s": wall,
+        "ops": 2 * reads,
+        "bytes": 2 * reads * size,
+        "sim_elapsed_s": (results["parallel"] * reads) / 1e9,
+        "events": {
+            "parallel_read_us": round(results["parallel"] / 1e3, 2),
+            "serial_read_us": round(results["serial"] / 1e3, 2),
+            "speedup_x": round(speedup, 2),
+        },
+        "fingerprint": fingerprint,
+    }
+
+
 def _wl_strata_fileserver(smoke: bool) -> Dict[str, object]:
     files, ops = (8, 100) if smoke else (20, 300)
     strata = build_strata()
@@ -333,6 +380,7 @@ WORKLOADS: List[Tuple[str, Callable[[bool], Dict[str, object]]]] = [
     ("migration_churn", _wl_migration_churn),
     ("fault_storm", _wl_fault_storm),
     ("cache_writeback", _wl_cache_writeback),
+    ("parallel_stripe", _wl_parallel_stripe),
     ("strata_fileserver", _wl_strata_fileserver),
 ]
 
@@ -390,6 +438,10 @@ def compare_fingerprints(
                 diffs.append(f"{dev}.{key}: golden={g.get(key)} got={o.get(key)}")
     if golden.get("cache") != observed.get("cache"):
         diffs.append(f"cache: golden={golden.get('cache')} got={observed.get('cache')}")
+    # workload-specific extras (e.g. parallel_stripe's serial_now_ns)
+    for key in sorted((set(golden) | set(observed)) - {"now_ns", "devices", "cache"}):
+        if golden.get(key) != observed.get(key):
+            diffs.append(f"{key}: golden={golden.get(key)} got={observed.get(key)}")
     return diffs
 
 

@@ -526,3 +526,65 @@ def fault_storm(
     for handle in handles:
         mux.close(handle)
     return counts
+
+
+def striped_reads(
+    stack,
+    tier_ids: List[int],
+    file_bytes: int = 4 * MIB,
+    stripe_blocks: int = 16,
+    reads: int = 4,
+) -> LatencyResult:
+    """Whole-file reads over a file striped chunk-round-robin across tiers.
+
+    The file's blocks are scattered in ``stripe_blocks``-block chunks
+    across the given tiers, so every whole-file read splits into one
+    sub-request per chunk.  Under the parallel engine those sub-requests
+    overlap — across tiers on separate device timelines and within a tier
+    across the device's channels — and the read completes at the max of
+    the completions; under the serial model they are charged one after
+    another.  Page caches are dropped before every read so the devices
+    are really hit.  Returns the per-read simulated latency.
+    """
+    from repro.core.policy import MigrationOrder
+
+    mux = stack.mux
+    clock = stack.clock
+    if not mux.exists("/stripe"):
+        mux.mkdir("/stripe")
+    handle = mux.open(
+        "/stripe/f", OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.TRUNC
+    )
+    written = 0
+    chunk = bytes(512 * 1024)
+    while written < file_bytes:
+        n = min(len(chunk), file_bytes - written)
+        mux.write(handle, written, chunk[:n])
+        written += n
+    mux.fsync(handle)
+
+    # scatter: chunk i goes to tier_ids[i % len(tier_ids)] (new writes land
+    # on the fastest tier, so chunks for tier_ids[0] are already in place)
+    bs = mux.block_size
+    blocks = file_bytes // bs
+    src = tier_ids[0]
+    for i, start in enumerate(range(0, blocks, stripe_blocks)):
+        dst = tier_ids[i % len(tier_ids)]
+        if dst == src:
+            continue
+        count = min(stripe_blocks, blocks - start)
+        mux.engine.migrate_now(
+            MigrationOrder(handle.ino, start, count, src, dst, reason="stripe")
+        )
+
+    total_ns = 0
+    for _ in range(reads):
+        for fs in stack.filesystems.values():
+            cache = getattr(fs, "page_cache", None)
+            if cache is not None:
+                cache.drop_clean()
+        t0 = clock.now_ns
+        mux.read(handle, 0, file_bytes)
+        total_ns += clock.now_ns - t0
+    mux.close(handle)
+    return LatencyResult(reads, total_ns)

@@ -47,7 +47,7 @@ class MigrationEngine:
     def __init__(self, mux) -> None:  # mux: MuxFileSystem (circular type)
         self._mux = mux
         self.occ = OccSynchronizer(mux)
-        self.runner = TaskRunner()
+        self.runner = TaskRunner(clock=mux.clock)
         self.stats = CounterSet()
         self.pair_stats: Dict[Tuple[int, int], PairStats] = {}
 
@@ -61,11 +61,21 @@ class MigrationEngine:
     # -- async execution ------------------------------------------------------
 
     def submit(self, order: MigrationOrder) -> Task:
-        """Start an asynchronous migration; returns its cooperative task."""
+        """Start an asynchronous migration; returns its cooperative task.
+
+        Submitted migrations run on *background time*: each copy chunk
+        executes in a background clock frame against the device timelines,
+        so user ops issued between steps only pay for the copy traffic
+        when they contend for the same device channels.
+        """
         self._validate(order)
         inode = self._mux.inode_by_ino(order.ino)
         gen = self._run_tracked(inode, order)
-        return self.runner.spawn(gen, name=f"mig-{order.ino}-{order.block_start}")
+        return self.runner.spawn(
+            gen,
+            name=f"mig-{order.ino}-{order.block_start}",
+            background=self._mux.scheduler.parallel,
+        )
 
     def tick(self) -> int:
         """Advance every in-flight migration one step."""

@@ -741,10 +741,23 @@ class MuxFileSystem(FileSystem):
 
         out = bytearray(length)
         last_tier: Optional[int] = None
+        # Parallel dispatch: each sub-request runs in its own clock frame
+        # against its device's timeline, so spans on different tiers
+        # overlap and the op completes at the max of their completions.
+        # Dispatch CPU cost stays serial (Mux submits one at a time).
+        overlap = self.scheduler.parallel and len(plan) > 1
+        completions: List[int] = []
         for req in plan:
             self.clock.advance_ns(cal.MUX_DISPATCH_NS)
             tier = self.registry.get(req.tier_id)
-            self._read_span(inode, tier, req, out)
+            if overlap:
+                self.clock.push_frame()
+                try:
+                    self._read_span(inode, tier, req, out)
+                finally:
+                    completions.append(self.clock.pop_frame())
+            else:
+                self._read_span(inode, tier, req, out)
             last_tier = req.tier_id
             self.policy.on_access(
                 inode.ino,
@@ -754,6 +767,8 @@ class MuxFileSystem(FileSystem):
                 "read",
                 self.clock.now(),
             )
+        if completions:
+            self.clock.advance_to(max(completions))
 
         # metadata affinity: the FS fetching the last block owns atime (§2.3)
         now = self.clock.now()
@@ -957,6 +972,7 @@ class MuxFileSystem(FileSystem):
         runs: List[Tuple[int, int]],
         defer_offline: bool = False,
         durable: bool = False,
+        background: bool = False,
     ) -> int:
         """Write dirty cached runs back to their owning tiers.
 
@@ -970,12 +986,27 @@ class MuxFileSystem(FileSystem):
         copy was durable on PM, so a destage that parks the bytes in a
         slow tier's volatile page cache would *lose* durability.  Callers
         whose own epilogue already flushes the tiers (``fsync`` fan-out,
-        ``sync``) pass False and skip the double flush.  Returns blocks
-        destaged.
+        ``sync``) pass False and skip the double flush.
+
+        ``background=True`` (the budget/interval writeback path) runs the
+        whole batch in a background clock frame: the tier writes land on
+        the devices' reserved background channels and the global clock
+        does not absorb the batch — foreground ops pay only when they
+        contend for the same device.  Returns blocks destaged.
         """
         cache = self.cache
         if cache is None or not runs:
             return 0
+        if background:
+            self.clock.push_frame(background=True)
+            try:
+                return self._destage_blocks(
+                    inode, runs, defer_offline=defer_offline, durable=durable
+                )
+            finally:
+                # deliberately discard the frame cursor: the batch drains
+                # on the device timelines while the foreground proceeds
+                self.clock.pop_frame()
         bs = self.block_size
         destaged = 0
         nruns = 0
@@ -1041,7 +1072,7 @@ class MuxFileSystem(FileSystem):
             inode, runs, defer_offline=True, durable=durable
         )
 
-    def _destage_all(self, durable: bool = False) -> int:
+    def _destage_all(self, durable: bool = False, background: bool = False) -> int:
         """Destage every dirty block in the cache (sync/budget paths)."""
         cache = self.cache
         if cache is None or not cache.write_back:
@@ -1054,7 +1085,11 @@ class MuxFileSystem(FileSystem):
                 cache.invalidate_file(ino)  # defensive: unlink cleans up
                 continue
             total += self._destage_blocks(
-                inode, cache.dirty_runs(ino), defer_offline=True, durable=durable
+                inode,
+                cache.dirty_runs(ino),
+                defer_offline=True,
+                durable=durable,
+                background=background,
             )
         return total
 
@@ -1089,7 +1124,9 @@ class MuxFileSystem(FileSystem):
             self._next_writeback_ns = now + cal.CACHE_WRITEBACK_INTERVAL_NS
         threshold = cal.CACHE_WRITEBACK_MAX_DIRTY_FRAC * cache.capacity_blocks
         if dirty >= threshold or now >= self._next_writeback_ns:
-            self._destage_all(durable=True)
+            # the batch drains on background device channels; the user op
+            # that tripped the budget is not stalled behind it
+            self._destage_all(durable=True, background=self.scheduler.parallel)
             self._next_writeback_ns = (
                 self.clock.now_ns + cal.CACHE_WRITEBACK_INTERVAL_NS
             )
@@ -1187,12 +1224,23 @@ class MuxFileSystem(FileSystem):
         # dead-tier failure mid-write leaves the BLT describing exactly the
         # pre-write file (the write is atomic at the BLT level).
         placed: List[Tuple[int, int, int]] = []  # (tier, first_block, count)
+        overlap = self.scheduler.parallel and len(segments) > 1
+        completions: List[int] = []
         for tier_id, seg_off, seg_data in segments:
             self.clock.advance_ns(cal.MUX_DISPATCH_NS)
-            tier_id = self._write_segment(inode, tier_id, seg_off, seg_data)
+            if overlap:
+                self.clock.push_frame()
+                try:
+                    tier_id = self._write_segment(inode, tier_id, seg_off, seg_data)
+                finally:
+                    completions.append(self.clock.pop_frame())
+            else:
+                tier_id = self._write_segment(inode, tier_id, seg_off, seg_data)
             seg_first = seg_off // bs
             seg_last = (seg_off + len(seg_data) - 1) // bs
             placed.append((tier_id, seg_first, seg_last - seg_first + 1))
+        if completions:
+            self.clock.advance_to(max(completions))
         last_seg_tier = placed[-1][0]
         # Phase 2: commit the mapping (map_range/invalidate/on_access are
         # all charge-free, so the fingerprint matches the fused loop)
@@ -1424,6 +1472,7 @@ class MuxFileSystem(FileSystem):
         if self._meta is not None:
             # the per-tier fsyncs below commit the meta tier's journal too
             self._meta.flush(durable=False)
+        targets: List[Tuple[Tier, FileHandle]] = []
         for tier_id in sorted(inode.tiers_present):
             tier_handle = inode.tier_handles.get(tier_id)
             if tier_handle is None or not tier_handle.is_open:
@@ -1434,7 +1483,21 @@ class MuxFileSystem(FileSystem):
                 # the dead tier's durability debt is flagged for fsck
                 self.stats.add("fsync_skipped_offline")
                 continue
-            self._tier_io(tier, lambda h=tier_handle: self.vfs.fsync(h))
+            targets.append((tier, tier_handle))
+        # the fan-out flushes independent devices: overlap them
+        overlap = self.scheduler.parallel and len(targets) > 1
+        completions: List[int] = []
+        for tier, tier_handle in targets:
+            if overlap:
+                self.clock.push_frame()
+                try:
+                    self._tier_io(tier, lambda h=tier_handle: self.vfs.fsync(h))
+                finally:
+                    completions.append(self.clock.pop_frame())
+            else:
+                self._tier_io(tier, lambda h=tier_handle: self.vfs.fsync(h))
+        if completions:
+            self.clock.advance_to(max(completions))
         self.stats.add("fsync")
 
     # ==================================================================

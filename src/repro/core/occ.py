@@ -216,6 +216,10 @@ class OccSynchronizer:
             # -- lock-based fallback: single atomic step ----------------------
             result.lock_fallback = True
             self.stats.add("lock_fallbacks")
+            # A pessimistic lock blocks every user operation on the file,
+            # so the locked copy charges *foreground* time even when the
+            # migration itself was submitted as background work.
+            token = self.io.clock.suspend_frames()
             self.io.clock.advance_ns(cal.LOCK_FALLBACK_NS)
             inode.locked = True
             try:
@@ -230,6 +234,7 @@ class OccSynchronizer:
                 self.stats.add("fault_aborts")
             finally:
                 inode.locked = False
+                self.io.clock.resume_frames(token)
         return result
 
     # -- helpers ---------------------------------------------------------------

@@ -26,6 +26,97 @@ DEFAULT_BLOCK_SIZE = 4096
 ARENA_CHUNK_BLOCKS = 512
 
 
+class DeviceTimeline:
+    """Per-device completion-time bookkeeping for the parallel I/O engine.
+
+    Each device owns ``queue_depth`` internal channels (NVMe queue pairs,
+    interleaved PM DIMM lanes, or the single HDD spindle), each with its
+    own ``busy_until`` horizon.  A request submitted at time T begins on
+    the least-busy eligible channel at ``max(T, busy_until)`` and
+    completes ``cost`` later.  Background work (migration copies, destage
+    batches) is restricted to a reserved tail quarter of the channels, so
+    it delays foreground requests only when the device is genuinely
+    saturated; on a single-channel device both classes share the spindle.
+
+    Ties are broken by channel index and requests are booked in submit
+    order, so the whole schedule is a pure function of the op sequence —
+    determinism survives.
+    """
+
+    __slots__ = (
+        "nchannels",
+        "busy_until",
+        "_bg_channels",
+        "_inflight",
+        "foreground_ops",
+        "background_ops",
+        "wait_ns",
+        "busy_ns",
+        "max_queued",
+    )
+
+    def __init__(self, nchannels: int) -> None:
+        self.nchannels = max(1, nchannels)
+        self.busy_until = [0] * self.nchannels
+        nbg = max(1, self.nchannels // 4)
+        self._bg_channels = (
+            tuple(range(self.nchannels))
+            if self.nchannels == 1
+            else tuple(range(self.nchannels - nbg, self.nchannels))
+        )
+        #: completion times of requests still in flight at the last submit
+        self._inflight: list = []
+        self.foreground_ops = 0
+        self.background_ops = 0
+        #: total time requests spent queued behind a busy channel
+        self.wait_ns = 0
+        #: total channel service time booked (for utilization gauges)
+        self.busy_ns = 0
+        #: deepest backlog seen at any submit instant (incl. the new request)
+        self.max_queued = 0
+
+    def acquire(self, start_ns: int, cost_ns: int, background: bool = False):
+        """Book one request; returns ``(begin_ns, complete_ns)``."""
+        channels = self._bg_channels if background else range(self.nchannels)
+        best = -1
+        best_free = 0
+        for ch in channels:
+            free = self.busy_until[ch]
+            if best < 0 or free < best_free:
+                best, best_free = ch, free
+        begin = start_ns if start_ns > best_free else best_free
+        complete = begin + cost_ns
+        self.busy_until[best] = complete
+        self.wait_ns += begin - start_ns
+        self.busy_ns += cost_ns
+        if background:
+            self.background_ops += 1
+        else:
+            self.foreground_ops += 1
+        self._inflight = [c for c in self._inflight if c > start_ns]
+        self._inflight.append(complete)
+        if len(self._inflight) > self.max_queued:
+            self.max_queued = len(self._inflight)
+        return begin, complete
+
+    def utilization(self, now_ns: int) -> float:
+        """Fraction of total channel-time spent servicing requests."""
+        if now_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / (now_ns * self.nchannels))
+
+    def snapshot(self) -> Dict[str, int]:
+        """Queue/utilization gauges (deterministic, fingerprint-safe)."""
+        return {
+            "channels": self.nchannels,
+            "fg_ops": self.foreground_ops,
+            "bg_ops": self.background_ops,
+            "wait_ns": self.wait_ns,
+            "busy_ns": self.busy_ns,
+            "max_queued": self.max_queued,
+        }
+
+
 class Device:
     """A simulated block device backed by a chunked bytearray arena.
 
@@ -56,6 +147,7 @@ class Device:
         self.num_blocks = capacity_bytes // block_size
         self.clock = clock
         self.stats = DeviceStats()
+        self.timeline = DeviceTimeline(profile.queue_depth)
         self._chunk_blocks = ARENA_CHUNK_BLOCKS
         self._chunk_bytes = self._chunk_blocks * block_size
         self._chunks: Dict[int, bytearray] = {}
@@ -88,6 +180,19 @@ class Device:
             self.profile.write_latency_ns if write else self.profile.read_latency_ns
         )
         return latency + self.profile.transfer_ns(nbytes, write=write)
+
+    def _occupy(self, cost_ns: int) -> int:
+        """Submit one access at the current instant; sync to its completion.
+
+        On an idle device this degenerates to ``clock.advance_ns(cost_ns)``
+        exactly; queueing delay appears only when the chosen channel is
+        still busy with earlier overlapped or background work.
+        """
+        begin, complete = self.timeline.acquire(
+            self.clock.now_ns, cost_ns, background=self.clock.in_background
+        )
+        self.clock.advance_to(complete)
+        return complete
 
     # -- arena plumbing (no simulated-time charges) ----------------------------
 
@@ -156,7 +261,7 @@ class Device:
         cost = self._access_cost_ns(block_no, nbytes, write=False)
         if self.faults is not None:
             cost += self.faults.extra_latency_ns(cost)
-        self.clock.advance_ns(cost)
+        self._occupy(cost)
         self.stats.record_read(nbytes, cost)
         if self.faults is not None:
             # Time is charged even for failing accesses: the controller did
@@ -175,7 +280,7 @@ class Device:
         cost = self._access_cost_ns(block_no, len(data), write=True)
         if self.faults is not None:
             cost += self.faults.extra_latency_ns(cost)
-        self.clock.advance_ns(cost)
+        self._occupy(cost)
         self.stats.record_write(len(data), cost)
         if self.faults is not None:
             fault = self.faults.check_write(block_no, count)

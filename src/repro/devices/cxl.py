@@ -36,6 +36,7 @@ CXL_SSD = DeviceProfile(
     write_bandwidth=4e9,
     byte_addressable=True,
     flush_latency_ns=25,
+    queue_depth=4,  # one CXL link: fewer lanes than socket-local PM
 )
 
 #: Archival cold storage (glass / DNA / tape library class).

@@ -88,7 +88,7 @@ class PersistentMemoryDevice(Device):
         )
         if self.faults is not None:
             cost += self.faults.extra_latency_ns(cost)
-        self.clock.advance_ns(cost)
+        self._occupy(cost)
         self.stats.record_read(length, cost)
         if self.faults is not None:
             self.faults.check_read(*self._fault_blocks(addr, length))
@@ -104,7 +104,7 @@ class PersistentMemoryDevice(Device):
         )
         if self.faults is not None:
             cost += self.faults.extra_latency_ns(cost)
-        self.clock.advance_ns(cost)
+        self._occupy(cost)
         self.stats.record_write(len(data), cost)
         if self.faults is not None:
             # A single CPU store is atomic at this model's granularity:
@@ -135,7 +135,7 @@ class PersistentMemoryDevice(Device):
         )
         if self.faults is not None:
             cost += self.faults.extra_latency_ns(cost)
-        self.clock.advance_ns(cost)
+        self._occupy(cost)
         self.stats.record_read(length, cost, ops=count)
         if self.faults is not None:
             self.faults.check_read(*self._fault_blocks(addr, length))
@@ -162,7 +162,7 @@ class PersistentMemoryDevice(Device):
         )
         if self.faults is not None:
             cost += self.faults.extra_latency_ns(cost)
-        self.clock.advance_ns(cost)
+        self._occupy(cost)
         self.stats.record_write(length, cost, ops=count)
         if self.faults is not None:
             bno, cnt = self._fault_blocks(addr, length)
@@ -196,7 +196,7 @@ class PersistentMemoryDevice(Device):
         last = (addr + length - 1) // CACHE_LINE
         lines = last - first + 1
         cost = lines * self.profile.flush_latency_ns
-        self.clock.advance_ns(cost)
+        self._occupy(cost)
         self.stats.record_flush(cost, ops=ops)
         self._clear_dirty(first, last + 1)
 

@@ -47,7 +47,7 @@ class SolidStateDrive(Device):
         if self._buffered_bytes == 0:
             return
         cost = self.profile.transfer_ns(self._buffered_bytes, write=True)
-        self.clock.advance_ns(cost)
+        self._occupy(cost)
         self.stats.record_flush(cost)
         self._buffered_bytes = 0
 

@@ -6,32 +6,71 @@ with cooperative tasks: a migration is a Python generator that yields
 between steps, and a :class:`TaskRunner` interleaves those steps with user
 operations.  Tests can drive the interleaving explicitly to construct the
 exact races the OCC Synchronizer must survive.
+
+With the parallel I/O engine, a task can additionally run on *background
+time*: give it the shared clock and ``background=True`` and every step
+executes inside a background clock frame.  The task keeps its own time
+cursor (it resumes where its previous step completed, or at the global
+now if the world has moved on), its device accesses land on the devices'
+reserved background channels, and the global clock is only advanced when
+someone synchronizes with the task (``join``/``drain``) — so background
+copies overlap foreground ops instead of stalling them.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Iterator, List, Optional
+from typing import Any, Callable, Generator, Iterator, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.clock import SimClock
 
 Step = Generator[None, None, Any]
 
 
 class Task:
-    """One cooperative task wrapping a generator."""
+    """One cooperative task wrapping a generator.
 
-    _next_id = 1
+    Anonymous tasks get the name ``"task"``; :meth:`TaskRunner.spawn`
+    assigns per-runner sequential names instead, so task-name-dependent
+    traces are reproducible regardless of what ran earlier in the process.
+    """
 
-    def __init__(self, gen: Step, name: str = "") -> None:
+    def __init__(
+        self,
+        gen: Step,
+        name: str = "",
+        clock: Optional["SimClock"] = None,
+        background: bool = False,
+    ) -> None:
         self._gen = gen
-        self.name = name or f"task-{Task._next_id}"
-        Task._next_id += 1
+        self.name = name or "task"
         self.done = False
         self.result: Any = None
         self.error: Optional[BaseException] = None
+        self._clock = clock
+        self._background = background and clock is not None
+        #: where this task's last step completed on its own timeline
+        self.cursor_ns: Optional[int] = None
 
     def step(self) -> bool:
         """Advance one step; returns True while the task is still running."""
         if self.done:
             return False
+        if not self._background:
+            return self._step_inner()
+        clock = self._clock
+        # resume where the previous step completed, unless the foreground
+        # has already moved past it (a task cannot run in the past)
+        start = clock.now_ns
+        if self.cursor_ns is not None and self.cursor_ns > start:
+            start = self.cursor_ns
+        clock.push_frame(start, background=True)
+        try:
+            return self._step_inner()
+        finally:
+            self.cursor_ns = clock.pop_frame()
+
+    def _step_inner(self) -> bool:
         try:
             next(self._gen)
             return True
@@ -45,9 +84,15 @@ class Task:
             return False
 
     def join(self) -> Any:
-        """Run the task to completion; returns its result or re-raises."""
+        """Run the task to completion; returns its result or re-raises.
+
+        Joining a background task is a synchronization point: the caller
+        waits for it, so the global clock advances to its completion.
+        """
         while self.step():
             pass
+        if self._background and self.cursor_ns is not None:
+            self._clock.advance_to(self.cursor_ns)
         if self.error is not None:
             raise self.error
         return self.result
@@ -60,13 +105,26 @@ class TaskRunner:
     one step; ``drain`` runs everything to completion.  Errors raised inside
     a task are stored on the task and re-raised when the runner drains (so a
     failed background migration cannot vanish silently).
+
+    Task names are per-runner sequential (``task-1``, ``task-2``, ...), so
+    traces keyed on names don't depend on process-global state.  A runner
+    constructed with a clock can host background tasks (see :class:`Task`);
+    ``drain`` then advances the global clock to the latest background
+    completion, because draining means the caller waited for everything.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Optional["SimClock"] = None) -> None:
         self._tasks: List[Task] = []
+        self._next_id = 1
+        self._clock = clock
+        #: latest background-task completion seen so far
+        self.completed_until_ns = 0
 
-    def spawn(self, gen: Step, name: str = "") -> Task:
-        task = Task(gen, name=name)
+    def spawn(self, gen: Step, name: str = "", background: bool = False) -> Task:
+        if not name:
+            name = f"task-{self._next_id}"
+        self._next_id += 1
+        task = Task(gen, name=name, clock=self._clock, background=background)
         self._tasks.append(task)
         return task
 
@@ -84,19 +142,32 @@ class TaskRunner:
         return live
 
     def drain(self) -> None:
-        """Run all tasks to completion, re-raising the first task error."""
+        """Run all tasks to completion, re-raising the first task error.
+
+        Synchronization point: the global clock catches up to the latest
+        background completion before control returns.
+        """
         while self.tick():
             pass
+        if self._clock is not None and self.completed_until_ns:
+            self._clock.advance_to(self.completed_until_ns)
         self._raise_errors()
 
     def _reap(self) -> None:
         finished = [t for t in self._tasks if t.done and t.error is None]
         for task in finished:
+            if task.cursor_ns is not None and task.cursor_ns > self.completed_until_ns:
+                self.completed_until_ns = task.cursor_ns
             self._tasks.remove(task)
 
     def _raise_errors(self) -> None:
         for task in list(self._tasks):
             if task.error is not None:
+                if (
+                    task.cursor_ns is not None
+                    and task.cursor_ns > self.completed_until_ns
+                ):
+                    self.completed_until_ns = task.cursor_ns
                 self._tasks.remove(task)
                 raise task.error
 

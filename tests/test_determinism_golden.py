@@ -19,8 +19,12 @@ from repro.bench.macro import fileserver
 from repro.core.policy import MigrationOrder
 from repro.stack import build_stack
 
+# Regenerated for the parallel I/O engine: split reads/writes/fsyncs now
+# overlap across tiers, so only now_ns moved (39077547 -> 38739094); every
+# per-device counter and the cache counters are bit-identical, confirming
+# the engine changed time accounting, not the op sequence.
 MUX_GOLDEN = {
-    "now_ns": 39077547,
+    "now_ns": 38739094,
     "devices": {
         "hdd": {
             "read_ops": 0,

@@ -85,6 +85,8 @@ class ScalarOccSynchronizer(OccSynchronizer):
         if targets:
             result.lock_fallback = True
             self.stats.add("lock_fallbacks")
+            # like production: a pessimistic lock charges foreground time
+            token = self.io.clock.suspend_frames()
             self.io.clock.advance_ns(cal.LOCK_FALLBACK_NS)
             inode.locked = True
             try:
@@ -96,6 +98,7 @@ class ScalarOccSynchronizer(OccSynchronizer):
                 self.stats.add("no_space_aborts")
             finally:
                 inode.locked = False
+                self.io.clock.resume_frames(token)
         return result
 
     def _scalar_blocks_on_src(self, inode, block_start, count, src_tier):

@@ -23,10 +23,17 @@ class TestPlan:
         requests = [req(2, 100, 10, 0), req(0, 0, 10, 10)]
         assert scheduler.plan(requests, KINDS) == requests
 
-    def test_fast_tiers_dispatched_first(self):
-        scheduler = IoScheduler()
+    def test_serial_dispatches_fast_tiers_first(self):
+        # serial model: fast results return before slow devices are touched
+        scheduler = IoScheduler(parallel=False)
         plan = scheduler.plan([req(2, 0, 10, 0), req(0, 0, 10, 10)], KINDS)
         assert [r.tier_id for r in plan] == [0, 2]
+
+    def test_parallel_dispatches_bottleneck_first(self):
+        # parallel model: start the slowest (critical-path) device earliest
+        scheduler = IoScheduler(parallel=True)
+        plan = scheduler.plan([req(0, 0, 10, 10), req(2, 0, 10, 0)], KINDS)
+        assert [r.tier_id for r in plan] == [2, 0]
 
     def test_elevator_order_within_tier(self):
         scheduler = IoScheduler()
@@ -51,6 +58,38 @@ class TestPlan:
             [req(1, 100, 50, 0), req(1, 0, 100, 50)], KINDS
         )
         assert len(plan) == 2
+
+    def test_file_adjacent_buffer_gap_not_merged(self):
+        scheduler = IoScheduler()
+        # file-adjacent, buffer destinations in order but with a hole
+        # between them (e.g. a readv with separate iovecs): a single
+        # merged device span would overrun the first iovec
+        plan = scheduler.plan(
+            [req(1, 0, 100, 0), req(1, 100, 50, 132)], KINDS
+        )
+        assert len(plan) == 2
+        assert scheduler.merges == 0
+
+    def test_elevator_order_across_mixed_tier_kinds(self):
+        # the elevator runs per tier: each tier's spans come out in
+        # ascending file offset, regardless of arrival order or how the
+        # tiers interleave in the input
+        scheduler = IoScheduler(parallel=True)
+        plan = scheduler.plan(
+            [
+                req(2, 9000, 10, 0),
+                req(0, 700, 10, 10),
+                req(2, 100, 10, 20),
+                req(1, 5000, 10, 30),
+                req(0, 40, 10, 40),
+                req(1, 300, 10, 50),
+            ],
+            KINDS,
+        )
+        # parallel: slowest kind first, elevator order within each tier
+        assert [(r.tier_id, r.offset) for r in plan] == [
+            (2, 100), (2, 9000), (1, 300), (1, 5000), (0, 40), (0, 700),
+        ]
 
     def test_different_tiers_not_merged(self):
         scheduler = IoScheduler()

@@ -92,3 +92,121 @@ class TestStopwatch:
         watch.restart()
         clock.advance_ns(5)
         assert watch.elapsed_ns == 5
+
+
+class TestFrames:
+    def test_frame_starts_at_now(self):
+        clock = SimClock()
+        clock.advance_ns(100)
+        assert clock.push_frame() == 100
+        assert clock.now_ns == 100
+
+    def test_frame_advance_does_not_move_global(self):
+        clock = SimClock()
+        clock.push_frame()
+        clock.advance_ns(500)
+        assert clock.now_ns == 500
+        assert clock.global_now_ns == 0
+        assert clock.pop_frame() == 500
+        assert clock.now_ns == 0
+
+    def test_pop_returns_cursor_for_caller_to_fold(self):
+        clock = SimClock()
+        completions = []
+        for cost in (300, 700, 100):
+            clock.push_frame()
+            clock.advance_ns(cost)
+            completions.append(clock.pop_frame())
+        clock.advance_to(max(completions))
+        assert clock.now_ns == 700  # max, not sum
+
+    def test_explicit_start(self):
+        clock = SimClock()
+        clock.advance_ns(50)
+        assert clock.push_frame(start_ns=200) == 200
+        clock.advance_ns(10)
+        assert clock.pop_frame() == 210
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().push_frame(start_ns=-5)
+
+    def test_pop_without_frame_raises(self):
+        with pytest.raises(RuntimeError):
+            SimClock().pop_frame()
+
+    def test_nested_frames(self):
+        clock = SimClock()
+        clock.push_frame()
+        clock.advance_ns(100)
+        clock.push_frame()
+        clock.advance_ns(9)
+        assert clock.pop_frame() == 109
+        assert clock.now_ns == 100
+
+    def test_advance_to_inside_frame(self):
+        clock = SimClock()
+        clock.push_frame(start_ns=40)
+        clock.advance_to(90)
+        assert clock.now_ns == 90
+        clock.advance_to(10)  # never backwards
+        assert clock.pop_frame() == 90
+
+    def test_background_flag(self):
+        clock = SimClock()
+        assert not clock.in_background
+        clock.push_frame(background=True)
+        assert clock.in_background
+        clock.push_frame()  # nested foreground frame keeps bg context
+        assert clock.in_background
+        clock.pop_frame()
+        clock.pop_frame()
+        assert not clock.in_background
+
+    def test_in_frame(self):
+        clock = SimClock()
+        assert not clock.in_frame
+        clock.push_frame()
+        assert clock.in_frame
+        clock.pop_frame()
+        assert not clock.in_frame
+
+
+class TestSuspendFrames:
+    def test_suspended_charges_hit_global(self):
+        clock = SimClock()
+        clock.push_frame(background=True)
+        clock.advance_ns(100)
+        token = clock.suspend_frames()
+        assert not clock.in_frame and not clock.in_background
+        clock.advance_ns(1000)  # pessimistic-lock work: foreground time
+        assert clock.global_now_ns == 1000
+        clock.resume_frames(token)
+        assert clock.in_frame and clock.in_background
+
+    def test_resume_pulls_cursor_up_to_global(self):
+        clock = SimClock()
+        clock.push_frame()
+        clock.advance_ns(100)
+        token = clock.suspend_frames()
+        clock.advance_ns(5000)
+        clock.resume_frames(token)
+        # the frame cannot resume before the global instant it waited for
+        assert clock.pop_frame() == 5000
+
+    def test_resume_keeps_later_cursor(self):
+        clock = SimClock()
+        clock.push_frame()
+        clock.advance_ns(9000)
+        token = clock.suspend_frames()
+        clock.advance_ns(10)
+        clock.resume_frames(token)
+        assert clock.pop_frame() == 9000
+
+    def test_suspend_with_no_frames_is_noop(self):
+        clock = SimClock()
+        token = clock.suspend_frames()
+        clock.advance_ns(7)
+        clock.resume_frames(token)
+        assert clock.now_ns == 7
+        assert not clock.in_frame

@@ -99,3 +99,106 @@ class TestRunInterleaved:
 
         with pytest.raises(KeyError):
             run_interleaved(Task(boom()), lambda i: None)
+
+
+class TestTaskNaming:
+    def test_names_are_per_runner(self):
+        # regression: Task used to hold a class-level counter, so names
+        # depended on how many tasks *any* earlier test had spawned
+        def gen():
+            yield
+
+        a, b = TaskRunner(), TaskRunner()
+        assert a.spawn(gen()).name == "task-1"
+        assert a.spawn(gen()).name == "task-2"
+        assert b.spawn(gen()).name == "task-1"
+
+    def test_explicit_name_still_counts(self):
+        def gen():
+            yield
+
+        runner = TaskRunner()
+        runner.spawn(gen(), name="mig-7-0")
+        assert runner.spawn(gen()).name == "task-2"
+
+    def test_bare_task_has_stable_name(self):
+        def gen():
+            yield
+
+        assert Task(gen()).name == "task"
+
+
+class TestBackgroundTasks:
+    def _clock(self):
+        from repro.sim.clock import SimClock
+
+        return SimClock()
+
+    def test_steps_run_on_background_time(self):
+        clock = self._clock()
+
+        def copy():
+            for _ in range(3):
+                clock.advance_ns(100)
+                yield
+
+        task = Task(copy(), clock=clock, background=True)
+        while task.step():
+            pass
+        assert clock.now_ns == 0  # foreground never stalled
+        assert task.cursor_ns == 300  # the task's own timeline advanced
+
+    def test_cursor_resumes_across_steps(self):
+        clock = self._clock()
+
+        def copy():
+            clock.advance_ns(100)
+            yield
+            clock.advance_ns(50)
+            yield
+
+        task = Task(copy(), clock=clock, background=True)
+        task.step()
+        clock.advance_ns(10)  # foreground does a little work meanwhile
+        task.step()
+        # second step resumed at cursor 100 (> global 10), not at 10
+        assert task.cursor_ns == 150
+
+    def test_task_cannot_run_in_the_past(self):
+        clock = self._clock()
+
+        def copy():
+            clock.advance_ns(5)
+            yield
+            clock.advance_ns(5)
+            yield
+
+        task = Task(copy(), clock=clock, background=True)
+        task.step()
+        clock.advance_ns(1000)  # foreground races far ahead
+        task.step()
+        assert task.cursor_ns == 1005  # resumed at global now, not cursor 5
+
+    def test_join_synchronizes_global_clock(self):
+        clock = self._clock()
+
+        def copy():
+            clock.advance_ns(700)
+            yield
+
+        task = Task(copy(), clock=clock, background=True)
+        task.join()
+        assert clock.now_ns == 700
+
+    def test_drain_synchronizes_global_clock(self):
+        clock = self._clock()
+
+        def copy(cost):
+            clock.advance_ns(cost)
+            yield
+
+        runner = TaskRunner(clock=clock)
+        runner.spawn(copy(300), background=True)
+        runner.spawn(copy(900), background=True)
+        runner.drain()
+        assert clock.now_ns == 900  # max over tasks, not sum
