@@ -243,7 +243,13 @@ def replay(trace: Trace, fs: FileSystem, clock: SimClock) -> ReplayResult:
 # number, not an anecdote.
 
 
-def _record_mixed(ops: int, seed: int, faulty: bool, write_back: bool = False):
+def _record_mixed(
+    ops: int,
+    seed: int,
+    faulty: bool,
+    write_back: bool = False,
+    readahead_bg: bool = False,
+):
     from repro.bench.workloads import metadata_churn, metadata_tree
     from repro.core.policy import MigrationOrder
     from repro.devices.faults import FaultConfig
@@ -257,7 +263,10 @@ def _record_mixed(ops: int, seed: int, faulty: bool, write_back: bool = False):
             )
         }
     stack = build_stack(
-        faults=faults, fault_seed=seed, cache_write_back=write_back
+        faults=faults,
+        fault_seed=seed,
+        cache_write_back=write_back,
+        readahead_background=readahead_bg,
     )
     recorder = TraceRecorder(stack.mux)
     recorder.mkdir("/t")
@@ -284,6 +293,26 @@ def _record_mixed(ops: int, seed: int, faulty: bool, write_back: bool = False):
         recorder.read(handle, 0, len(blob))
         recorder.write(handle, 0, b"\x5a" * 8192)
         recorder.close(handle)
+    if readahead_bg:
+        # sequential single-block scan of an SSD-resident file: the demand
+        # block stays on foreground time while the speculative tail
+        # prefetches on background channels (readahead_bg_blocks)
+        scan = recorder.create("/t/scan")
+        scan_bytes = 4 * len(blob)
+        recorder.write(scan, 0, b"\xc3" * scan_bytes)
+        scan_blocks = scan_bytes // stack.mux.block_size
+        result = stack.mux.engine.migrate_now(
+            MigrationOrder(scan.ino, 0, scan_blocks, pm, ssd, reason="trace")
+        )
+        migrations.append(("/t/scan", result))
+        for fs in stack.filesystems.values():
+            cache = getattr(fs, "page_cache", None)
+            if cache is not None:
+                cache.drop_clean()
+        bs = stack.mux.block_size
+        for block in range(scan_blocks):
+            recorder.read(scan, block * bs, bs)
+        recorder.close(scan)
     return stack, recorder.trace, migrations
 
 
@@ -295,6 +324,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     faulty = "--no-faults" not in argv
     write_back = "--write-back" in argv
+    readahead_bg = "--readahead-bg" in argv
     ops = 600
     if "--ops" in argv:
         ops = int(argv[argv.index("--ops") + 1])
@@ -302,7 +332,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if "--seed" in argv:
         seed = int(argv[argv.index("--seed") + 1])
 
-    stack, trace, migrations = _record_mixed(ops, seed, faulty, write_back)
+    stack, trace, migrations = _record_mixed(
+        ops, seed, faulty, write_back, readahead_bg
+    )
     mix = ", ".join(f"{op}={n}" for op, n in sorted(trace.op_mix().items()))
     print(f"trace: recorded {len(trace)} ops ({mix})")
     print(f"trace: {trace.bytes_written} bytes written, {trace.bytes_read} read")
@@ -348,6 +380,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"bg_ops={tl['bg_ops']} max_queued={tl['max_queued']} "
             f"wait_ns={tl['wait_ns']} "
             f"util={device.timeline.utilization(now_ns):.4f}"
+        )
+    ra_blocks = {
+        name: fs.readahead_bg_blocks
+        for name, fs in sorted(stack.filesystems.items())
+        if getattr(fs, "readahead_bg_blocks", 0)
+    }
+    if readahead_bg or ra_blocks:
+        per_fs = ", ".join(f"{n}:{v}" for n, v in ra_blocks.items()) or "none"
+        print(
+            f"readahead: bg_blocks={sum(ra_blocks.values())} per-fs=[{per_fs}]"
         )
 
     healthy = build_stack()

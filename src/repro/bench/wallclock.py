@@ -30,10 +30,12 @@ from __future__ import annotations
 import json
 import sys
 import time
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bench.harness import build_strata
 from repro.bench.macro import fileserver, varmail, webserver
+from repro.bench.multi_tenant import TenantSpec, run_multi_tenant
 from repro.bench.workloads import (
     cache_writeback,
     fault_storm,
@@ -46,8 +48,10 @@ from repro.bench.workloads import (
     sequential_write,
     striped_reads,
 )
+from repro.core.qos import IoClass
 from repro.core.scheduler import IoScheduler
 from repro.devices.faults import FaultConfig
+from repro.devices.profile import OPTANE_SSD_P4800X
 from repro.stack import Stack, build_stack
 
 MIB = 1024 * 1024
@@ -354,6 +358,112 @@ def _wl_parallel_stripe(smoke: bool) -> Dict[str, object]:
     }
 
 
+def _mt_specs(load_mult: float) -> List[TenantSpec]:
+    """Four tenants with distinct personalities, scaled by ``load_mult``.
+
+    ``load_mult`` multiplies every inter-arrival gap, so 1.0 is the
+    highest offered load (past depth-1 saturation) and larger values back
+    off toward an uncontended system.  The mix covers the interesting
+    axes: read-heavy vs mixed, Poisson vs bursty arrivals, and one
+    QoS-throttled batch tenant.
+    """
+
+    def gap(base_ns: int) -> int:
+        return max(1, round(base_ns * load_mult))
+
+    return [
+        TenantSpec("alpha", mean_interarrival_ns=gap(2_500), files=6, read_fraction=0.9),
+        TenantSpec("bravo", mean_interarrival_ns=gap(4_000), files=4, read_fraction=0.7),
+        TenantSpec("burst", mean_interarrival_ns=gap(3_000), arrival="bursty", burst_size=8),
+        TenantSpec(
+            "batch",
+            mean_interarrival_ns=gap(6_000),
+            read_fraction=0.5,
+            qos_class=IoClass("batch", quota_bytes_per_sec=200 * MIB),
+        ),
+    ]
+
+
+def _mt_stack() -> Stack:
+    # the one stack that intentionally enables the SSD saturation knee and
+    # background readahead — every other workload keeps catalog defaults,
+    # so their goldens are untouched
+    return build_stack(
+        enable_cache=False,
+        profiles={"ssd": replace(OPTANE_SSD_P4800X, knee_depth=6, knee_penalty=0.2)},
+        readahead_background=True,
+    )
+
+
+def _wl_multi_tenant(smoke: bool) -> Dict[str, object]:
+    """Open-loop multi-tenant tails: async ring vs serialized depth-1.
+
+    The same pre-generated arrival schedule runs twice per load point —
+    once through depth-8 submit/complete rings and once through depth-1
+    (the serialized baseline) — and the headline number is the aggregate
+    read-p99 ratio at the highest offered load.  Because the load is
+    open-loop, depth-1 queueing delay counts against its tail instead of
+    silently slowing the arrival process.
+
+    The fingerprint pins the async stack at the highest load plus the
+    baseline's final clock and the full p50/p99/p999 table for every
+    (load, depth) pair, so drift in either dispatch path — or in the tail
+    percentiles themselves — trips the smoke guard.
+    """
+    duration_ns = 300_000 if smoke else 1_000_000
+    loads = [1.0] if smoke else [4.0, 2.0, 1.0]
+    wall = 0.0
+    ops = 0
+    bytes_moved = 0
+    sim_elapsed_ns = 0
+    fingerprint: Dict[str, object] = {}
+    tails: Dict[str, object] = {}
+    table: Dict[str, object] = {}
+    ratio = 0.0
+    for load in loads:
+        specs = _mt_specs(load)
+        point: Dict[str, Dict[str, int]] = {}
+        for depth in (8, 1):
+            stack = _mt_stack()
+            sim0 = stack.clock.now_ns
+            t0 = time.perf_counter()
+            res = run_multi_tenant(stack, specs, duration_ns=duration_ns, ring_depth=depth)
+            wall += time.perf_counter() - t0
+            ops += res.completed_ops
+            bytes_moved += sum(
+                t.ops * spec.io_bytes for spec, t in zip(specs, res.tenants.values())
+            )
+            label = "async" if depth == 8 else "depth1"
+            point[label] = {
+                **{f"read_{k}": v for k, v in res.percentiles_ns("read").items()},
+                **{f"write_{k}": v for k, v in res.percentiles_ns("write").items()},
+            }
+            if depth == 8:
+                sim_elapsed_ns += stack.clock.now_ns - sim0
+            if load == loads[-1]:
+                if depth == 8:
+                    fingerprint = _mux_fingerprint(stack)
+                else:
+                    fingerprint["depth1_now_ns"] = stack.clock.now_ns
+        key = f"load_{load:g}x"
+        tails[key] = point
+        table[key] = {
+            "async_read_p99_us": round(point["async"]["read_p99"] / 1e3, 2),
+            "depth1_read_p99_us": round(point["depth1"]["read_p99"] / 1e3, 2),
+        }
+        if load == loads[-1] and point["async"]["read_p99"]:
+            ratio = point["depth1"]["read_p99"] / point["async"]["read_p99"]
+    fingerprint["tails"] = tails
+    return {
+        "wall_s": wall,
+        "ops": ops,
+        "bytes": bytes_moved,
+        "sim_elapsed_s": sim_elapsed_ns / 1e9,
+        "events": {"p99_ratio_x": round(ratio, 1), "sweep": table},
+        "fingerprint": fingerprint,
+    }
+
+
 def _wl_strata_fileserver(smoke: bool) -> Dict[str, object]:
     files, ops = (8, 100) if smoke else (20, 300)
     strata = build_strata()
@@ -381,6 +491,7 @@ WORKLOADS: List[Tuple[str, Callable[[bool], Dict[str, object]]]] = [
     ("fault_storm", _wl_fault_storm),
     ("cache_writeback", _wl_cache_writeback),
     ("parallel_stripe", _wl_parallel_stripe),
+    ("multi_tenant", _wl_multi_tenant),
     ("strata_fileserver", _wl_strata_fileserver),
 ]
 

@@ -127,6 +127,18 @@ OCC_MAX_RETRIES = 3
 LOCK_FALLBACK_NS = 900
 
 # ---------------------------------------------------------------------------
+# Async submit/complete ring (io_uring-style user API)
+# ---------------------------------------------------------------------------
+
+#: Building one submission-queue entry + doorbell: request validation and
+#: enqueue on the ring, charged foreground per submit (the analogue of
+#: io_uring_enter's per-SQE cost).
+RING_SUBMIT_NS = 150
+
+#: Harvesting one completion-queue entry (CQE read + ring head update).
+RING_REAP_NS = 40
+
+# ---------------------------------------------------------------------------
 # Degraded mode (fault injection)
 # ---------------------------------------------------------------------------
 

@@ -186,6 +186,8 @@ class MuxFileSystem(FileSystem):
         self.latencies: Optional[Dict[str, object]] = None
         #: optional QoS manager (quotas + class placement, §4)
         self.qos = None
+        #: open submit/complete rings (see open_ring)
+        self._rings: List["IoRing"] = []
 
     def enable_qos(self):
         """Attach a :class:`~repro.core.qos.QosManager`; returns it."""
@@ -209,6 +211,31 @@ class MuxFileSystem(FileSystem):
         from repro.sim.histogram import LatencyHistogram
 
         self.latencies = {"read": LatencyHistogram(), "write": LatencyHistogram()}
+
+    def open_ring(self, depth: int = 8):
+        """Open an async submit/complete ring (see :mod:`repro.core.ring`).
+
+        Independent user ops submitted on the ring overlap on the device
+        timelines up to ``depth`` in flight; ``depth=1`` is the serialized
+        baseline.  Close the ring when done (or use it as a context
+        manager) so pessimistic locks stop quiescing it.
+        """
+        from repro.core.ring import IoRing
+
+        ring = IoRing(self, depth=depth)
+        self._rings.append(ring)
+        return ring
+
+    def quiesce_inflight(self, ino: Optional[int] = None) -> None:
+        """Wait for in-flight ring ops (on ``ino``, or all) to complete.
+
+        Called by the OCC Synchronizer's lock fallback after it suspends
+        clock frames: the pessimistic lock must cover async submissions
+        still completing against the file, so the global clock advances
+        past them before the lock is granted.
+        """
+        for ring in self._rings:
+            ring.quiesce(ino)
 
     def _record_latency(self, op: str, started_ns: int) -> None:
         if self.latencies is not None:

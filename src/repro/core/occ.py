@@ -90,6 +90,16 @@ class MigrationIo(Protocol):
         """
         ...
 
+    def quiesce_inflight(self, ino: int) -> None:
+        """Wait for async ring ops in flight against ``ino`` to complete.
+
+        Optional (looked up with ``getattr``): called by the pessimistic
+        lock fallback *after* :meth:`SimClock.suspend_frames`, so the
+        wait lands on the global clock and the lock covers every
+        submission the user had outstanding when the lock was requested.
+        """
+        ...
+
 
 @dataclass
 class MigrationResult:
@@ -220,6 +230,13 @@ class OccSynchronizer:
             # so the locked copy charges *foreground* time even when the
             # migration itself was submitted as background work.
             token = self.io.clock.suspend_frames()
+            # The lock also cannot be granted while async ring ops are
+            # still completing against the file: wait them out on the
+            # global clock first (optional — implementations without
+            # rings may omit it).
+            quiesce = getattr(self.io, "quiesce_inflight", None)
+            if quiesce is not None:
+                quiesce(inode.ino)
             self.io.clock.advance_ns(cal.LOCK_FALLBACK_NS)
             inode.locked = True
             try:

@@ -1,0 +1,281 @@
+"""io_uring-style asynchronous submit/complete API on the Mux.
+
+The paper's unit of work is the *user request at the file-system
+interface* — and real users issue many independent requests concurrently.
+PR 5's parallel engine overlapped the sub-requests of a *single* split
+op; this module lets **independent user ops** overlap on the per-device
+:class:`~repro.devices.base.DeviceTimeline` channels, the way an
+io_uring submission queue does on real NVMe hardware.
+
+Simulation semantics
+--------------------
+
+Every submitted op executes *eagerly* inside its own clock frame pushed
+at the submission instant: state mutations (cache fills, BLT updates,
+journal appends) happen in program order — exactly the deterministic
+discipline the frame machinery established — while the op's *time* is
+charged to the frame, so its device accesses overlap with other in-flight
+submissions on the device timelines.  The frame's final cursor is the
+op's completion timestamp.  ``wait``/``drain`` are the synchronization
+points: they advance the global clock to the reaped completion, just
+like ``io_uring_wait_cqe``.
+
+Determinism: completions are reaped in ``(completed_ns, seq)`` order, so
+two ops completing on the same nanosecond always reap in submission
+order, and the whole schedule is a pure function of the op sequence.
+
+Backpressure: the ring bounds *overlap* at ``depth`` in-flight ops.  A
+submit against a full ring first waits for the earliest in-flight
+completion (the SQ-full stall of a real ring); the completed entry stays
+queued for the user to reap.  ``depth=1`` therefore degenerates to the
+serialized one-op-at-a-time model — the ablation baseline the
+``multi_tenant`` benchmark compares against.
+
+Failure: an op that raises a simulated-storage error (``ReproError``)
+completes with ``Completion.error`` set instead of unwinding the caller
+mid-submission — matching a CQE with a negative ``res``.  Host-side bugs
+(``TypeError`` etc.) still propagate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.core import calibration as cal
+from repro.errors import InvalidArgument, ReproError
+from repro.vfs.interface import FileHandle
+
+
+@dataclass(frozen=True)
+class Submission:
+    """Ticket for one submitted op (the SQE, after the doorbell)."""
+
+    seq: int
+    op: str  # "read" | "write" | "fsync"
+    ino: int
+    submitted_ns: int
+
+
+@dataclass
+class Completion:
+    """One finished op (the CQE)."""
+
+    seq: int
+    op: str
+    ino: int
+    submitted_ns: int
+    completed_ns: int
+    #: bytes for reads, byte count for writes, None for fsync / errors
+    result: Any = None
+    #: the simulated-storage error the op failed with, if any
+    error: Optional[ReproError] = None
+
+    @property
+    def latency_ns(self) -> int:
+        """Submit-to-complete latency on the simulated clock."""
+        return self.completed_ns - self.submitted_ns
+
+    def unwrap(self) -> Any:
+        """Return ``result``, re-raising the op's error if it failed."""
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class IoRing:
+    """Bounded submit/complete ring bound to one Mux instance.
+
+    Obtain via :meth:`MuxFileSystem.open_ring`; ``close()`` drains and
+    unregisters it.  With the scheduler's ``parallel`` flag off (the
+    serial ablation) submissions execute on the global clock and nothing
+    overlaps — the ring degenerates to a queue of already-done ops.
+    """
+
+    def __init__(self, mux, depth: int = 8) -> None:
+        if depth < 1:
+            raise InvalidArgument(f"ring depth must be >= 1, got {depth}")
+        self.mux = mux
+        self.depth = depth
+        self.clock = mux.clock
+        self._next_seq = 0
+        #: completions not yet reaped by wait/drain/poll, submit order
+        self._pending: List[Completion] = []
+        self.closed = False
+        # lifetime counters (surfaced via snapshot; deterministic)
+        self.submitted = 0
+        self.reaped = 0
+        #: submits that stalled on a full ring
+        self.backpressure_waits = 0
+        #: deepest genuine overlap seen at any submit instant
+        self.max_inflight = 0
+
+    # -- submission ------------------------------------------------------
+
+    def submit_read(self, handle: FileHandle, offset: int, length: int) -> Submission:
+        """Queue a read; returns its :class:`Submission` ticket."""
+        return self._submit(
+            "read", handle, lambda: self.mux.read(handle, offset, length)
+        )
+
+    def submit_write(self, handle: FileHandle, offset: int, data: bytes) -> Submission:
+        """Queue a write; completion ``result`` is the byte count."""
+        return self._submit(
+            "write", handle, lambda: self.mux.write(handle, offset, data)
+        )
+
+    def submit_fsync(self, handle: FileHandle) -> Submission:
+        """Queue an fsync; completion ``result`` is None."""
+        return self._submit("fsync", handle, lambda: self.mux.fsync(handle))
+
+    def _submit(self, op: str, handle: FileHandle, thunk) -> Submission:
+        if self.closed:
+            raise InvalidArgument("submit on a closed ring")
+        clock = self.clock
+        # SQE build + doorbell: foreground cost, serializes submissions
+        clock.advance_ns(cal.RING_SUBMIT_NS)
+        # ring-full backpressure: stall until the earliest in-flight op
+        # completes (its CQE stays queued for the user to reap)
+        while True:
+            horizon = clock.now_ns
+            inflight = [c for c in self._pending if c.completed_ns > horizon]
+            if len(inflight) < self.depth:
+                break
+            self.backpressure_waits += 1
+            clock.advance_to(min(c.completed_ns for c in inflight))
+        seq = self._next_seq
+        self._next_seq += 1
+        submitted_ns = clock.now_ns
+        completion = Completion(
+            seq=seq, op=op, ino=handle.ino, submitted_ns=submitted_ns,
+            completed_ns=submitted_ns,
+        )
+        overlap = self.mux.scheduler.parallel
+        if overlap:
+            clock.push_frame(submitted_ns)
+        try:
+            completion.result = thunk()
+        except ReproError as exc:
+            completion.error = exc
+        finally:
+            completion.completed_ns = clock.pop_frame() if overlap else clock.now_ns
+        self._pending.append(completion)
+        self.submitted += 1
+        self.mux.scheduler.ring_ops += 1
+        if len(inflight) + 1 > self.max_inflight:
+            self.max_inflight = len(inflight) + 1
+        return Submission(seq=seq, op=op, ino=handle.ino, submitted_ns=submitted_ns)
+
+    # -- completion ------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Completions queued but not yet reaped."""
+        return len(self._pending)
+
+    def inflight(self, ino: Optional[int] = None) -> int:
+        """Unreaped ops still completing after the current instant."""
+        now = self.clock.global_now_ns
+        return sum(
+            1
+            for c in self._pending
+            if c.completed_ns > now and (ino is None or c.ino == ino)
+        )
+
+    def _reap(self, completion: Completion) -> Completion:
+        self._pending.remove(completion)
+        self.reaped += 1
+        self.clock.advance_ns(cal.RING_REAP_NS)
+        return completion
+
+    def wait(self, submission: Optional[Submission] = None) -> Completion:
+        """Reap one completion, advancing the clock to it.
+
+        With a ticket: that specific op.  Without: the earliest pending
+        completion in ``(completed_ns, seq)`` order.  The reaped op's
+        error (if any) is *not* raised — check ``Completion.error`` or
+        call :meth:`Completion.unwrap`.
+        """
+        if not self._pending:
+            raise InvalidArgument("wait on an empty ring")
+        if submission is None:
+            target = min(self._pending, key=lambda c: (c.completed_ns, c.seq))
+        else:
+            target = next(
+                (c for c in self._pending if c.seq == submission.seq), None
+            )
+            if target is None:
+                raise InvalidArgument(
+                    f"submission #{submission.seq} is not pending on this ring"
+                )
+        self.clock.advance_to(target.completed_ns)
+        return self._reap(target)
+
+    def poll(self) -> List[Completion]:
+        """Reap every completion already due, without waiting.
+
+        Returns ``(completed_ns, seq)``-ordered completions whose time
+        has passed; an empty list if everything is still in flight.
+        """
+        now = self.clock.now_ns
+        due = sorted(
+            (c for c in self._pending if c.completed_ns <= now),
+            key=lambda c: (c.completed_ns, c.seq),
+        )
+        return [self._reap(c) for c in due]
+
+    def drain(self) -> List[Completion]:
+        """Reap everything, advancing the clock to the last completion."""
+        out = sorted(self._pending, key=lambda c: (c.completed_ns, c.seq))
+        if out:
+            self.clock.advance_to(out[-1].completed_ns)
+        return [self._reap(c) for c in out]
+
+    def quiesce(self, ino: Optional[int] = None) -> None:
+        """Wait (on the global clock) for in-flight ops to finish.
+
+        Used by the OCC Synchronizer's pessimistic-lock fallback: the
+        lock must not be granted while async ops on the file are still
+        completing, exactly as a kernel lock waits for in-flight DMA.
+        Completions stay queued — quiescing is not reaping.
+        """
+        relevant = [
+            c.completed_ns
+            for c in self._pending
+            if ino is None or c.ino == ino
+        ]
+        if relevant:
+            self.clock.advance_to(max(relevant))
+
+    def close(self) -> List[Completion]:
+        """Drain outstanding completions and unregister from the Mux."""
+        out = self.drain()
+        self.closed = True
+        self.mux._rings.remove(self)
+        return out
+
+    # -- introspection ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Lifetime ring counters (deterministic, fingerprint-safe)."""
+        return {
+            "depth": self.depth,
+            "submitted": self.submitted,
+            "reaped": self.reaped,
+            "pending": len(self._pending),
+            "backpressure_waits": self.backpressure_waits,
+            "max_inflight": self.max_inflight,
+        }
+
+    def __enter__(self) -> "IoRing":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.closed:
+            self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"IoRing(depth={self.depth}, pending={len(self._pending)}, "
+            f"submitted={self.submitted})"
+        )

@@ -41,6 +41,13 @@ class DeviceTimeline:
     Ties are broken by channel index and requests are booked in submit
     order, so the whole schedule is a pure function of the op sequence —
     determinism survives.
+
+    With a saturation knee configured (``knee_depth > 0``), service time
+    inflates convexly once the backlog at submit time reaches the knee:
+    ``cost * (1 + knee_penalty * excess**2)`` where ``excess`` counts
+    requests at or past the threshold.  With the knee disabled (the
+    default) the flat per-channel model is preserved bit-for-bit,
+    including the :meth:`snapshot` keys that feed golden fingerprints.
     """
 
     __slots__ = (
@@ -53,9 +60,15 @@ class DeviceTimeline:
         "wait_ns",
         "busy_ns",
         "max_queued",
+        "knee_depth",
+        "knee_penalty",
+        "knee_ops",
+        "knee_extra_ns",
     )
 
-    def __init__(self, nchannels: int) -> None:
+    def __init__(
+        self, nchannels: int, knee_depth: int = 0, knee_penalty: float = 0.0
+    ) -> None:
         self.nchannels = max(1, nchannels)
         self.busy_until = [0] * self.nchannels
         nbg = max(1, self.nchannels // 4)
@@ -74,9 +87,23 @@ class DeviceTimeline:
         self.busy_ns = 0
         #: deepest backlog seen at any submit instant (incl. the new request)
         self.max_queued = 0
+        self.knee_depth = knee_depth
+        self.knee_penalty = knee_penalty
+        #: requests whose service time the knee inflated / total added ns
+        self.knee_ops = 0
+        self.knee_extra_ns = 0
 
     def acquire(self, start_ns: int, cost_ns: int, background: bool = False):
         """Book one request; returns ``(begin_ns, complete_ns)``."""
+        if self.knee_depth > 0:
+            self._inflight = [c for c in self._inflight if c > start_ns]
+            backlog = len(self._inflight)
+            if backlog >= self.knee_depth:
+                excess = backlog - self.knee_depth + 1
+                inflated = round(cost_ns * (1.0 + self.knee_penalty * excess * excess))
+                self.knee_ops += 1
+                self.knee_extra_ns += inflated - cost_ns
+                cost_ns = inflated
         channels = self._bg_channels if background else range(self.nchannels)
         best = -1
         best_free = 0
@@ -106,8 +133,12 @@ class DeviceTimeline:
         return min(1.0, self.busy_ns / (now_ns * self.nchannels))
 
     def snapshot(self) -> Dict[str, int]:
-        """Queue/utilization gauges (deterministic, fingerprint-safe)."""
-        return {
+        """Queue/utilization gauges (deterministic, fingerprint-safe).
+
+        Knee gauges appear only when the knee is configured, so goldens
+        recorded under the flat model compare unchanged.
+        """
+        snap = {
             "channels": self.nchannels,
             "fg_ops": self.foreground_ops,
             "bg_ops": self.background_ops,
@@ -115,6 +146,10 @@ class DeviceTimeline:
             "busy_ns": self.busy_ns,
             "max_queued": self.max_queued,
         }
+        if self.knee_depth > 0:
+            snap["knee_ops"] = self.knee_ops
+            snap["knee_extra_ns"] = self.knee_extra_ns
+        return snap
 
 
 class Device:
@@ -147,7 +182,11 @@ class Device:
         self.num_blocks = capacity_bytes // block_size
         self.clock = clock
         self.stats = DeviceStats()
-        self.timeline = DeviceTimeline(profile.queue_depth)
+        self.timeline = DeviceTimeline(
+            profile.queue_depth,
+            knee_depth=profile.knee_depth,
+            knee_penalty=profile.knee_penalty,
+        )
         self._chunk_blocks = ARENA_CHUNK_BLOCKS
         self._chunk_bytes = self._chunk_blocks * block_size
         self._chunks: Dict[int, bytearray] = {}

@@ -55,6 +55,14 @@ class DeviceProfile:
     # concurrently (NVMe queue pairs / interleaved PM DIMM lanes).  An HDD
     # has one spindle, so queue_depth stays 1 and requests serialize.
     queue_depth: int = 1
+    # Saturation knee: once the backlog at submit time reaches
+    # ``knee_depth`` requests, per-request service time inflates by
+    # ``knee_penalty * excess**2`` (convex — controller arbitration, die
+    # contention and head scheduling all degrade superlinearly past the
+    # device's sweet spot).  ``knee_depth=0`` disables the knee entirely
+    # and preserves the flat per-channel model bit-for-bit.
+    knee_depth: int = 0
+    knee_penalty: float = 0.0
     metadata: dict = field(default_factory=dict, compare=False)
 
     def transfer_ns(self, nbytes: int, *, write: bool) -> int:

@@ -1,9 +1,13 @@
 """Latency histograms for simulated operations.
 
-Benchmarks and examples use these to report tail latencies (p50/p99/max)
+Benchmarks and examples use these to report tail latencies (p50/p99/p999)
 without storing every sample: values land in exponentially sized buckets,
 so memory stays constant while percentile error stays within one bucket
-(~7% with the default growth factor).
+(~7% with the default growth factor).  Percentile queries interpolate
+linearly *within* the winning bucket, so a quantile moves smoothly with
+the sample distribution instead of quantizing to bucket boundaries —
+which matters for p999 sweeps, where adjacent load points would otherwise
+snap to the same bucket upper bound.
 """
 
 from __future__ import annotations
@@ -49,6 +53,11 @@ class LatencyHistogram:
             return float(self.min_ns)
         return self.min_ns * self.growth**index
 
+    def _bucket_lower_ns(self, index: int) -> float:
+        if index == 0:
+            return 0.0
+        return self.min_ns * self.growth ** (index - 1)
+
     # -- queries -----------------------------------------------------------
 
     @property
@@ -56,7 +65,15 @@ class LatencyHistogram:
         return self.total_ns / self.count if self.count else 0.0
 
     def percentile(self, fraction: float) -> float:
-        """Upper bound of the bucket containing the given quantile (ns)."""
+        """The given quantile in ns, interpolated within its bucket.
+
+        The quantile's rank is located in the exponential bucket list, then
+        placed linearly between the bucket's bounds according to how far
+        into the bucket's population the rank falls.  The result is clamped
+        to the observed [min_seen_ns, max_ns] envelope, so ``percentile(1.0)``
+        is exactly the maximum and a single-bucket histogram cannot report
+        a value outside what was recorded.
+        """
         if not 0 < fraction <= 1:
             raise ValueError("fraction must be in (0, 1]")
         if self.count == 0:
@@ -64,10 +81,30 @@ class LatencyHistogram:
         need = math.ceil(self.count * fraction)
         seen = 0
         for index in sorted(self._buckets):
-            seen += self._buckets[index]
-            if seen >= need:
-                return min(self._bucket_upper_ns(index), float(self.max_ns))
+            here = self._buckets[index]
+            if seen + here >= need:
+                lower = self._bucket_lower_ns(index)
+                upper = self._bucket_upper_ns(index)
+                value = lower + (upper - lower) * (need - seen) / here
+                value = min(value, float(self.max_ns))
+                if self.min_seen_ns is not None:
+                    value = max(value, float(self.min_seen_ns))
+                return value
+            seen += here
         return float(self.max_ns)
+
+    def percentiles_ns(self, *fractions: float) -> Dict[str, int]:
+        """Rounded-integer quantiles keyed ``p50``/``p99``/``p999``-style.
+
+        Integer ns keeps the values fingerprint-safe (exact comparison in
+        the golden drift guard) while staying well within one bucket of
+        the true quantile.
+        """
+        out: Dict[str, int] = {}
+        for fraction in fractions:
+            key = f"p{fraction * 100:g}".replace(".", "")
+            out[key] = round(self.percentile(fraction))
+        return out
 
     def summary_us(self) -> Dict[str, float]:
         """Mean/median/p99/max in microseconds."""

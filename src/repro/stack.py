@@ -23,6 +23,7 @@ from repro.devices.profile import (
     OPTANE_PMEM_200,
     OPTANE_SSD_P4800X,
     SEAGATE_EXOS_X18,
+    DeviceProfile,
 )
 from repro.sim.rng import DeterministicRng
 from repro.devices.ssd import SolidStateDrive
@@ -76,6 +77,8 @@ def build_stack(
     clock: Optional[SimClock] = None,
     faults: Optional[Dict[str, FaultConfig]] = None,
     fault_seed: int = 2025,
+    profiles: Optional[Dict[str, "DeviceProfile"]] = None,
+    readahead_background: bool = False,
 ) -> Stack:
     """Assemble devices, native file systems, the VFS and Mux.
 
@@ -89,6 +92,17 @@ def build_stack(
     reproducible per device regardless of which other tiers are faulted.
     A tier absent from the map (or a ``None`` map — the default) has no
     injector and charges not one extra nanosecond.
+
+    ``profiles`` maps tier names to replacement :class:`DeviceProfile`s —
+    typically ``dataclasses.replace(CATALOG[name], knee_depth=..., ...)``
+    to enable the queue-depth saturation knee for an overload experiment
+    without disturbing the catalog defaults every other workload pins.
+
+    ``readahead_background=True`` moves each native file system's
+    speculative readahead tail onto background clock frames (reserved
+    device channels), so prefetch overlaps the demand read instead of
+    serializing after it.  Off by default — the timing model is
+    bit-identical unless a stack opts in.
     """
     tiers = list(tiers) if tiers is not None else ["pm", "ssd", "hdd"]
     caps = dict(DEFAULT_CAPACITIES)
@@ -114,21 +128,27 @@ def build_stack(
     devices: Dict[str, object] = {}
     filesystems: Dict[str, object] = {}
     tier_ids: Dict[str, int] = {}
+    overrides = profiles or {}
+    for override in overrides:
+        if override not in tiers:
+            raise InvalidArgument(f"profile override for unknown tier {override!r}")
     for name in tiers:
         if name == "pm":
-            device = PersistentMemoryDevice("pm0", caps["pm"], clock)
+            profile = overrides.get("pm", OPTANE_PMEM_200)
+            device = PersistentMemoryDevice("pm0", caps["pm"], clock, profile)
             fs = NovaFileSystem("nova", device, clock)
-            profile = OPTANE_PMEM_200
         elif name == "ssd":
-            device = SolidStateDrive("ssd0", caps["ssd"], clock)
+            profile = overrides.get("ssd", OPTANE_SSD_P4800X)
+            device = SolidStateDrive("ssd0", caps["ssd"], clock, profile)
             fs = XfsFileSystem("xfs", device, clock)
-            profile = OPTANE_SSD_P4800X
         elif name == "hdd":
-            device = HardDiskDrive("hdd0", caps["hdd"], clock)
+            profile = overrides.get("hdd", SEAGATE_EXOS_X18)
+            device = HardDiskDrive("hdd0", caps["hdd"], clock, profile)
             fs = Ext4FileSystem("ext4", device, clock)
-            profile = SEAGATE_EXOS_X18
         else:
             raise InvalidArgument(f"unknown tier {name!r}")
+        if readahead_background and hasattr(type(fs), "readahead_background"):
+            fs.readahead_background = True
         vfs.mount(MOUNTS[name], fs)
         tier = mux.add_tier(name, fs, MOUNTS[name], profile)
         devices[name] = device

@@ -2,6 +2,8 @@
 
 import pytest
 
+from dataclasses import replace
+
 from repro.devices.base import Device
 from repro.devices.hdd import HardDiskDrive
 from repro.devices.pm import CACHE_LINE, PersistentMemoryDevice
@@ -332,3 +334,99 @@ class TestDeviceTimeline:
         assert snap["busy_ns"] > 0
         util = dev.timeline.utilization(clock.now_ns)
         assert 0.0 < util <= 1.0
+
+
+class TestSaturationKnee:
+    """Queue-depth saturation knee: flat below the knee, convex past it."""
+
+    def _kneed_ssd(self, clock, knee_depth=4, knee_penalty=0.5):
+        profile = replace(
+            OPTANE_SSD_P4800X, knee_depth=knee_depth, knee_penalty=knee_penalty
+        )
+        return Device("d0", profile, 4 * MIB, clock)
+
+    def test_disabled_by_default(self):
+        dev = Device("d0", OPTANE_SSD_P4800X, 4 * MIB, SimClock())
+        assert dev.timeline.knee_depth == 0
+        assert "knee_ops" not in dev.timeline.snapshot()
+
+    def test_flat_path_bit_identical_with_knee_disabled(self):
+        # a knee at depth 0 must not perturb a single nanosecond, even
+        # under overlapped submissions that build real backlog
+        clock_a, clock_b = SimClock(), SimClock()
+        plain = Device("d0", OPTANE_SSD_P4800X, 4 * MIB, clock_a)
+        kneed = self._kneed_ssd(clock_b, knee_depth=0, knee_penalty=0.5)
+        done_a, done_b = [], []
+        for i in range(20):
+            clock_a.push_frame(start_ns=0)
+            plain.read_blocks(i)
+            done_a.append(clock_a.pop_frame())
+            clock_b.push_frame(start_ns=0)
+            kneed.read_blocks(i)
+            done_b.append(clock_b.pop_frame())
+        assert done_a == done_b
+        assert plain.timeline.snapshot() == kneed.timeline.snapshot()
+
+    def test_below_knee_costs_flat(self):
+        clock = SimClock()
+        dev = self._kneed_ssd(clock, knee_depth=8)
+        ref_clock = SimClock()
+        ref = Device("r0", OPTANE_SSD_P4800X, 4 * MIB, ref_clock)
+        for i in range(4):  # backlog never reaches 8
+            clock.push_frame(start_ns=0)
+            dev.read_blocks(i)
+            clock.pop_frame()
+            ref_clock.push_frame(start_ns=0)
+            ref.read_blocks(i)
+            ref_clock.pop_frame()
+        assert dev.timeline.knee_ops == 0
+        assert dev.timeline.busy_ns == ref.timeline.busy_ns
+
+    def test_past_knee_service_time_inflates_convexly(self):
+        clock = SimClock()
+        dev = self._kneed_ssd(clock, knee_depth=2, knee_penalty=0.5)
+        completions = []
+        for i in range(8):
+            clock.push_frame(start_ns=0)
+            dev.read_blocks(i)
+            completions.append(clock.pop_frame())
+        assert dev.timeline.knee_ops > 0
+        assert dev.timeline.knee_extra_ns > 0
+        # convexity: each successive completion gap grows once the knee
+        # engages (quadratic inflation dominates the constant service time)
+        gaps = [b - a for a, b in zip(completions, completions[1:])]
+        tail = [g for g in gaps if g > 0][-3:]
+        assert tail == sorted(tail)
+        snap = dev.timeline.snapshot()
+        assert snap["knee_ops"] == dev.timeline.knee_ops
+        assert snap["knee_extra_ns"] == dev.timeline.knee_extra_ns
+
+    def test_backlog_drains_knee_releases(self):
+        clock = SimClock()
+        dev = self._kneed_ssd(clock, knee_depth=2, knee_penalty=0.5)
+        for i in range(6):
+            clock.push_frame(start_ns=0)
+            dev.read_blocks(i)
+            clock.pop_frame()
+        engaged = dev.timeline.knee_ops
+        assert engaged > 0
+        # far in the future the backlog has fully drained: flat again
+        future = max(dev.timeline.busy_until) + 1_000_000
+        clock.advance_to(future)
+        dev.read_blocks(0)
+        assert dev.timeline.knee_ops == engaged
+
+    def test_build_stack_profile_override(self):
+        from repro.stack import build_stack
+
+        profile = replace(OPTANE_SSD_P4800X, knee_depth=4, knee_penalty=0.25)
+        stack = build_stack(profiles={"ssd": profile})
+        assert stack.devices["ssd"].timeline.knee_depth == 4
+        assert stack.devices["pm"].timeline.knee_depth == 0
+
+    def test_build_stack_rejects_unknown_override_tier(self):
+        from repro.errors import InvalidArgument
+        from repro.stack import build_stack
+
+        with pytest.raises(InvalidArgument):
+            build_stack(tiers=["pm"], profiles={"ssd": OPTANE_SSD_P4800X})

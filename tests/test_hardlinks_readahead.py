@@ -139,3 +139,81 @@ class TestReadahead:
         got = b"".join(xfs.read(handle, fb * BS, BS) for fb in range(40))
         assert got == payload
         xfs.close(handle)
+
+
+class TestBackgroundReadahead:
+    def _sequential_file(self, fs, nblocks=64):
+        handle = fs.create("/f")
+        payload = b"".join(bytes([i % 251]) * BS for i in range(nblocks))
+        fs.write(handle, 0, payload)
+        fs.fsync(handle)
+        fs.page_cache.drop_clean()
+        fs._readahead.clear()
+        return handle, payload
+
+    def test_off_by_default(self, ext4):
+        assert ext4.readahead_background is False
+        handle, _ = self._sequential_file(ext4)
+        for fb in range(16):
+            ext4.read(handle, fb * BS, BS)
+        assert ext4.readahead_bg_blocks == 0
+        ext4.close(handle)
+
+    def test_speculative_tail_rides_background_channels(self, xfs, ssd, clock):
+        xfs.readahead_background = True
+        handle, payload = self._sequential_file(xfs)
+        bg_before = ssd.timeline.background_ops
+        got = b"".join(xfs.read(handle, fb * BS, BS) for fb in range(64))
+        assert got == payload  # correctness survives the split fetch
+        assert xfs.readahead_bg_blocks > 0
+        assert ssd.timeline.background_ops > bg_before
+        xfs.close(handle)
+
+    def test_sequential_scan_faster_with_background_tail(self, clock):
+        from repro.devices.hdd import HardDiskDrive
+        from repro.fs.ext4 import Ext4FileSystem
+        from repro.sim.clock import SimClock
+
+        def scan_ns(background):
+            local = SimClock()
+            hdd = HardDiskDrive("h0", 64 * 1024 * 1024, local)
+            fs = Ext4FileSystem("ext4", hdd, local)
+            fs.readahead_background = background
+            handle = fs.create("/f")
+            fs.write(handle, 0, bytes(128 * BS))
+            fs.fsync(handle)
+            fs.page_cache.drop_clean()
+            fs._readahead.clear()
+            t0 = local.now_ns
+            for fb in range(128):
+                fs.read(handle, fb * BS, BS)
+            fs.close(handle)
+            return local.now_ns - t0
+
+        foreground = scan_ns(False)
+        overlapped = scan_ns(True)
+        # the demand read no longer pays for the speculative tail, so the
+        # foreground scan time drops even on a single-spindle device
+        assert overlapped < foreground
+
+    def test_random_reads_never_go_background(self, ext4, hdd):
+        ext4.readahead_background = True
+        handle, _ = self._sequential_file(ext4)
+        bg_before = hdd.timeline.background_ops
+        for i in range(16):
+            ext4.read(handle, ((i * 29) % 64) * BS, BS)
+        # window stays 1 on scattered reads: no speculative tail exists
+        assert ext4.readahead_bg_blocks == 0
+        assert hdd.timeline.background_ops == bg_before
+        ext4.close(handle)
+
+    def test_build_stack_flag(self):
+        from repro.stack import build_stack
+
+        stack = build_stack(readahead_background=True)
+        assert stack.filesystems["ssd"].readahead_background is True
+        assert stack.filesystems["hdd"].readahead_background is True
+        # NOVA on byte-addressable PM has no block readahead to move
+        assert not getattr(stack.filesystems["pm"], "readahead_background", False)
+        default = build_stack()
+        assert default.filesystems["ssd"].readahead_background is False

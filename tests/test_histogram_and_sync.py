@@ -36,6 +36,55 @@ class TestLatencyHistogram:
         assert hist.percentile(0.99) <= 1100
         assert hist.percentile(0.999) >= 900_000
 
+    def test_interpolates_within_bucket(self):
+        # 100 samples land in one middle bucket (the envelope is widened by
+        # one outlier on each side); quantiles should move smoothly through
+        # that bucket instead of snapping to its upper bound.
+        hist = LatencyHistogram(growth=1.07)
+        hist.record(10)
+        for _ in range(100):
+            hist.record(1000)
+        hist.record(1_000_000)
+        index = hist._bucket_index(1000)
+        lower = hist._bucket_lower_ns(index)
+        upper = hist._bucket_upper_ns(index)
+        p25 = hist.percentile(0.25)
+        p75 = hist.percentile(0.75)
+        assert lower < p25 < p75 < upper  # strictly increasing within the bucket
+
+    def test_identical_samples_collapse_to_value(self):
+        # With every sample equal, clamping to the observed envelope makes
+        # every quantile exactly that value — no bucket-bound inflation.
+        hist = LatencyHistogram(growth=1.07)
+        for _ in range(50):
+            hist.record(777)
+        assert hist.percentile(0.5) == 777
+        assert hist.percentile(0.999) == 777
+
+    def test_p999_not_quantized_to_bucket_bound(self):
+        # Two histograms whose tails differ within one bucket must report
+        # different p999 values — the pre-interpolation behaviour returned
+        # the shared bucket upper bound for both.
+        a = LatencyHistogram(growth=1.07)
+        b = LatencyHistogram(growth=1.07)
+        for _ in range(2000):
+            a.record(1000)
+            b.record(1000)
+        for _ in range(5):
+            a.record(1_000_000)
+        for _ in range(1):
+            b.record(1_000_000)
+        assert a.percentile(0.999) > b.percentile(0.999)
+
+    def test_percentiles_ns_keys(self):
+        hist = LatencyHistogram()
+        for value in (100, 200, 400, 800):
+            hist.record(value)
+        out = hist.percentiles_ns(0.5, 0.99, 0.999)
+        assert set(out) == {"p50", "p99", "p999"}
+        assert all(isinstance(v, int) for v in out.values())
+        assert out["p50"] <= out["p99"] <= out["p999"]
+
     def test_invalid_inputs(self):
         hist = LatencyHistogram()
         with pytest.raises(ValueError):

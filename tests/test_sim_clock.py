@@ -210,3 +210,111 @@ class TestSuspendFrames:
         clock.resume_frames(token)
         assert clock.now_ns == 7
         assert not clock.in_frame
+
+
+class TestFrameEdgeCases:
+    """The corners the async ring and background readahead lean on."""
+
+    def test_nested_stack_survives_suspend_resume(self):
+        # a foreground frame nested inside a background one: suspending
+        # must escape *both*, resuming must restore depth, cursors and the
+        # background flag exactly
+        clock = SimClock()
+        clock.push_frame(background=True)
+        clock.advance_ns(300)
+        clock.push_frame()
+        clock.advance_ns(50)  # inner cursor at 350
+        token = clock.suspend_frames()
+        assert not clock.in_frame and not clock.in_background
+        clock.advance_ns(100)  # foreground work at global time
+        clock.resume_frames(token)
+        assert clock.in_frame and clock.in_background
+        assert clock.pop_frame() == 350  # inner, ahead of global: untouched
+        assert clock.in_background
+        assert clock.pop_frame() == 300
+        assert not clock.in_background
+        assert clock.global_now_ns == 100
+
+    def test_push_pop_while_suspended(self):
+        # code running under a pessimistic lock may itself split I/O into
+        # frames; those nest on the *global* clock and must not leak into
+        # the suspended stack
+        clock = SimClock()
+        clock.push_frame(start_ns=1_000, background=True)
+        token = clock.suspend_frames()
+        clock.push_frame()
+        clock.advance_ns(80)
+        assert clock.pop_frame() == 80
+        assert not clock.in_frame
+        clock.advance_to(80)
+        clock.resume_frames(token)
+        # the background frame resumed at its own (later) cursor
+        assert clock.pop_frame() == 1_000
+
+    def test_resume_pulls_only_stale_cursors(self):
+        # two suspended frames, one behind and one ahead of the foreground
+        # work: only the stale one is pulled up to the global clock
+        clock = SimClock()
+        clock.push_frame(start_ns=10)
+        clock.push_frame(start_ns=9_000)
+        token = clock.suspend_frames()
+        clock.advance_ns(500)
+        clock.resume_frames(token)
+        assert clock.pop_frame() == 9_000
+        assert clock.pop_frame() == 500
+
+    def test_background_cursors_after_drain(self):
+        # TaskRunner.drain is a sync point: the global clock lands on the
+        # latest background completion, no frame is left active, and the
+        # background flag is clean
+        from repro.sim.tasks import TaskRunner
+
+        clock = SimClock()
+        runner = TaskRunner(clock)
+
+        def work(cost):
+            def gen():
+                clock.advance_ns(cost)
+                yield
+                clock.advance_ns(cost)
+
+            return gen()
+
+        runner.spawn(work(100), background=True)
+        runner.spawn(work(350), background=True)
+        runner.drain()
+        assert not clock.in_frame and not clock.in_background
+        assert runner.completed_until_ns == 700
+        assert clock.global_now_ns == 700
+
+    def test_drained_runner_does_not_rewind(self):
+        # a second drain (or one after the world moved on) never pulls the
+        # clock backwards to an old background cursor
+        from repro.sim.tasks import TaskRunner
+
+        clock = SimClock()
+        runner = TaskRunner(clock)
+
+        def gen():
+            clock.advance_ns(10)
+            yield
+
+        runner.spawn(gen(), background=True)
+        runner.drain()
+        clock.advance_to(5_000)
+        runner.drain()
+        assert clock.global_now_ns == 5_000
+
+    def test_same_ns_completions_fold_deterministically(self):
+        # sibling frames completing on the same nanosecond: the fold is
+        # max(), so issue order cannot change the result, and a stable
+        # (completion, index) sort gives one canonical ordering for ties
+        clock = SimClock()
+        completions = []
+        for index, cost in enumerate((400, 400, 250)):
+            clock.push_frame(start_ns=0)
+            clock.advance_ns(cost)
+            completions.append((clock.pop_frame(), index))
+        clock.advance_to(max(c for c, _ in completions))
+        assert clock.now_ns == 400
+        assert sorted(completions) == [(250, 2), (400, 0), (400, 1)]
