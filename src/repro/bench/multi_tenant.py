@@ -59,6 +59,11 @@ class TenantSpec:
     #: Poisson instants, every op in a burst at the same arrival time)
     arrival: str = "poisson"
     burst_size: int = 4
+    #: fsync every file a burst wrote, 1 ns after the burst — the
+    #: database/logger pattern: the burst demands durability, so its cost
+    #: cannot hide in volatile device write buffers.  (With "poisson"
+    #: arrivals each write is its own burst, so this fsyncs every write.)
+    fsync_bursts: bool = False
     #: registered with the Mux QoS manager and tagged on every handle
     qos_class: Optional[IoClass] = None
 
@@ -96,6 +101,8 @@ class MultiTenantResult:
     offered_ops: int
     duration_ns: int
     ring_depth: int
+    #: migration orders the policy submitted during maintenance rounds
+    migrations_submitted: int = 0
 
     def merged(self, op: str = "read") -> LatencyHistogram:
         """All tenants' latencies for ``op`` folded into one histogram."""
@@ -172,11 +179,17 @@ def generate_schedule(
                 burst = 1
             if t >= duration_ns:
                 break
+            touched: List[int] = []
             for _ in range(burst):
                 op = "read" if rng.random() < spec.read_fraction else "write"
                 file_idx = _zipf_pick(rng, file_cdf)
                 block = _zipf_pick(rng, block_cdf)
                 events.append((t, idx, seq, op, file_idx, block * spec.io_bytes))
+                seq += 1
+                if op == "write" and spec.fsync_bursts and file_idx not in touched:
+                    touched.append(file_idx)
+            for file_idx in touched:
+                events.append((t + 1, idx, seq, "fsync", file_idx, 0))
                 seq += 1
     events.sort(key=lambda e: (e[0], e[1], e[2]))
     return events
@@ -194,12 +207,31 @@ def run_multi_tenant(
     ring_depth: int = 8,
     seed: int = 2026,
     root: str = "/tenants",
+    population_tier: Optional[int] = None,
+    maintain_every: int = 0,
+    durable_population: bool = False,
 ) -> MultiTenantResult:
     """Drive the open-loop schedule against ``stack``; returns latencies.
 
     ``ring_depth`` bounds each tenant's async window: 8 is the overlapped
     configuration, 1 the serialized baseline.  Setup (population writes,
     QoS registration) happens before the measured schedule starts.
+
+    ``population_tier`` pins every population file to that tier id for
+    the setup writes (the pin is cleared before the measured schedule).
+    Policy head-to-head comparisons need it: otherwise each policy places
+    the population differently and the measured read path compares
+    *population placement* rather than steady-state behaviour.
+
+    ``maintain_every`` (0 = off, the default) plans migrations every N
+    events via ``mux.maintain_async()`` and advances in-flight copies one
+    cooperative step per event, so migrating policies get to act during
+    the measured window — policy duels need it, while the async-vs-depth1
+    ablation keeps it off so placement stays frozen across depths.
+
+    ``durable_population`` fsyncs every population file before the
+    measured window, so dirty page-cache debt and full device write
+    buffers from setup are not billed to the first measured ops.
     """
     mux = stack.mux
     clock = stack.clock
@@ -219,8 +251,16 @@ def run_multi_tenant(
         payload = bytes([_PAYLOAD_BYTE]) * spec.file_bytes
         for i in range(spec.files):
             path = f"{root}/{spec.name}/f{i}"
-            mux.write_file(path, payload)
+            if population_tier is not None:
+                mux.close(mux.create(path))
+                mux.set_placement(path, population_tier)
+                mux.write_file(path, payload)
+                mux.set_placement(path, None)
+            else:
+                mux.write_file(path, payload)
             handle = mux.open(path)
+            if durable_population:
+                mux.fsync(handle)
             if spec.qos_class is not None:
                 qos.tag(handle, spec.qos_class.name)
             tenant_handles.append(handle)
@@ -243,23 +283,35 @@ def run_multi_tenant(
             (tenant.reads if op == "read" else tenant.writes).record(latency)
 
     # -- measured open-loop schedule ------------------------------------
+    migrations = 0
     start_ns = clock.now_ns
-    for arrival, idx, _seq, op, file_idx, offset in events:
+    for index, (arrival, idx, _seq, op, file_idx, offset) in enumerate(events):
         clock.advance_to(start_ns + arrival)
         harvest(idx, rings[idx].poll())
+        if maintain_every:
+            if index and index % maintain_every == 0:
+                migrations += mux.maintain_async()
+            # the background copier runs continuously: advance in-flight
+            # migrations every event, otherwise one multi-chunk copy
+            # spans many bursts and OCC-aborts on each (see tracereplay)
+            mux.engine.tick()
         spec = specs[idx]
         handle = handles[idx][file_idx]
         if op == "read":
             sub = rings[idx].submit_read(handle, offset, spec.io_bytes)
-        else:
+        elif op == "write":
             payload = bytes([_PAYLOAD_BYTE]) * spec.io_bytes
             sub = rings[idx].submit_write(handle, offset, payload)
+        else:
+            sub = rings[idx].submit_fsync(handle)
         outstanding[idx][sub.seq] = (start_ns + arrival, op)
         results[spec.name].submitted += 1
 
     for idx, ring in enumerate(rings):
         harvest(idx, ring.drain())
         ring.close()
+    if maintain_every:
+        mux.engine.drain()
     for tenant_handles in handles:
         for handle in tenant_handles:
             mux.close(handle)
@@ -269,4 +321,76 @@ def run_multi_tenant(
         offered_ops=len(events),
         duration_ns=duration_ns,
         ring_depth=ring_depth,
+        migrations_submitted=migrations,
     )
+
+
+# ---------------------------------------------------------------------------
+# fairness: per-tenant slowdown versus an isolated run
+# ---------------------------------------------------------------------------
+
+
+def fairness_slowdowns(
+    stack_factory,
+    specs: List[TenantSpec],
+    duration_ns: int,
+    ring_depth: int = 8,
+    seed: int = 2026,
+    population_tier_name: Optional[str] = None,
+    maintain_every: int = 0,
+    durable_population: bool = False,
+) -> Tuple[MultiTenantResult, Dict[str, Dict[str, int]]]:
+    """Run the shared schedule, then each tenant alone; report slowdowns.
+
+    :func:`generate_schedule` forks the rng per tenant *name*, so a
+    single-tenant run replays exactly the arrivals, ops and offsets that
+    tenant would have issued in the shared run — the isolated run is a
+    true counterfactual, not a re-roll.  The per-tenant slowdown (shared
+    tail latency over isolated tail latency) is the classic multi-tenant
+    fairness metric: 1.0x means perfect isolation, and the *spread*
+    between tenants shows who pays for whom.
+
+    ``stack_factory`` must build identically-configured fresh stacks (one
+    for the shared run, one per tenant), so the only variable is which
+    tenants share the device channels.  Returns the shared run's result
+    plus ``{tenant: {"shared_p99_ns", "isolated_p99_ns", ...}}`` with
+    integer-ns read latencies (fingerprint-safe).
+    """
+
+    def _run(run_specs: List[TenantSpec]) -> MultiTenantResult:
+        stack = stack_factory()
+        tier = (
+            stack.tier_ids[population_tier_name]
+            if population_tier_name is not None
+            else None
+        )
+        return run_multi_tenant(
+            stack,
+            run_specs,
+            duration_ns,
+            ring_depth=ring_depth,
+            seed=seed,
+            population_tier=tier,
+            maintain_every=maintain_every,
+            durable_population=durable_population,
+        )
+
+    shared = _run(specs)
+    report: Dict[str, Dict[str, int]] = {}
+    for spec in specs:
+        isolated = _run([spec])
+        shared_reads = shared.tenants[spec.name].reads
+        isolated_reads = isolated.tenants[spec.name].reads
+        report[spec.name] = {
+            "shared_p50_ns": round(shared_reads.percentile(0.5)),
+            "shared_p99_ns": round(shared_reads.percentile(0.99)),
+            "isolated_p50_ns": round(isolated_reads.percentile(0.5)),
+            "isolated_p99_ns": round(isolated_reads.percentile(0.99)),
+        }
+    return shared, report
+
+
+def slowdown_x(entry: Dict[str, int], pct: str = "p99") -> float:
+    """Shared/isolated ratio for one :func:`fairness_slowdowns` entry."""
+    isolated = entry[f"isolated_{pct}_ns"]
+    return entry[f"shared_{pct}_ns"] / isolated if isolated else 0.0

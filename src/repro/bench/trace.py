@@ -325,6 +325,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     faulty = "--no-faults" not in argv
     write_back = "--write-back" in argv
     readahead_bg = "--readahead-bg" in argv
+    show_pressure = "--pressure" in argv
     ops = 600
     if "--ops" in argv:
         ops = int(argv[argv.index("--ops") + 1])
@@ -391,6 +392,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"readahead: bg_blocks={sum(ra_blocks.values())} per-fs=[{per_fs}]"
         )
+    if show_pressure:
+        monitor = stack.mux.pressure
+        monitor.sample(now_ns, force=True)
+        names = {tid: name for name, tid in stack.tier_ids.items()}
+        print("pressure:")
+        for tier_id, gauges in monitor.snapshot().items():
+            fields = " ".join(f"{k}={v}" for k, v in gauges.items())
+            print(f"  tier {names.get(tier_id, tier_id)}: {fields}")
 
     healthy = build_stack()
     result = replay(trace, healthy.mux, healthy.clock)

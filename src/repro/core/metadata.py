@@ -12,7 +12,7 @@ systems on demand.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import (
     DirectoryNotEmpty,
@@ -283,11 +283,20 @@ class MuxNamespace:
         # directory must not outlive it
         self.dcache.invalidate_prefix(path)
 
-    def rename(self, old_path: str, new_path: str, now: float) -> CollectiveInode:
+    def rename(
+        self, old_path: str, new_path: str, now: float
+    ) -> Tuple[CollectiveInode, Optional[int]]:
+        """Move ``old_path`` to ``new_path``; returns the moving inode and
+        the ino of a clobbered regular-file target (None otherwise).
+
+        The caller must drop per-ino state for the replaced file (policy
+        hotness, cache slots): its inode is deleted here and ino numbers
+        are never reused, so any state left keyed on it leaks forever.
+        """
         old_path = vpath.normalize(old_path)
         new_path = vpath.normalize(new_path)
         if old_path == new_path:
-            return self.resolve(old_path)  # must exist; successful no-op
+            return self.resolve(old_path), None  # must exist; successful no-op
         if vpath.is_under(new_path, old_path):
             raise InvalidArgument(
                 f"mux: cannot move {old_path!r} into itself"
@@ -297,6 +306,7 @@ class MuxNamespace:
         if old_name not in old_parent.entries:
             raise FileNotFound(f"mux: {old_path!r} does not exist")
         moving = self._inodes[old_parent.entries[old_name]]
+        replaced_ino: Optional[int] = None
         if new_name in new_parent.entries:
             existing = self._inodes[new_parent.entries[new_name]]
             if existing.is_dir:
@@ -310,6 +320,7 @@ class MuxNamespace:
                 if moving.is_dir:
                     raise NotADirectory(f"mux: {new_path!r} is not a directory")
                 del self._inodes[existing.ino]
+                replaced_ino = existing.ino
         del old_parent.entries[old_name]
         new_parent.entries[new_name] = moving.ino
         if moving.is_dir:
@@ -325,7 +336,7 @@ class MuxNamespace:
         else:
             self.dcache.invalidate(old_path)
             self.dcache.invalidate(new_path)
-        return moving
+        return moving, replaced_ino
 
     def readdir(self, path: str) -> List[str]:
         inode = self.resolve(path)

@@ -41,6 +41,7 @@ from repro.core.policy import (
     TierState,
 )
 from repro.core.policies import LruTieringPolicy
+from repro.core.pressure import PressureMonitor
 from repro.core.registry import Tier, TierRegistry
 from repro.core.scheduler import IoScheduler, SubRequest
 from repro.devices.profile import DeviceKind, DeviceProfile
@@ -172,6 +173,9 @@ class MuxFileSystem(FileSystem):
         self._next_writeback_ns: Optional[int] = None
         self.scheduler = scheduler if scheduler is not None else IoScheduler()
         self.registry = TierRegistry()
+        #: queue/dirty load sampler feeding TierState.pressure (pure
+        #: host-side; cannot perturb fingerprints)
+        self.pressure = PressureMonitor()
         self.ns = MuxNamespace(clock.now())
         self.engine = MigrationEngine(self)
         self.cache: Optional[ScmCacheManager] = None
@@ -266,6 +270,10 @@ class MuxFileSystem(FileSystem):
             )
         self.block_size = fs_block
         tier = self.registry.add(name, fs, mount, profile, rank)
+        device = getattr(fs, "device", None)
+        timeline = getattr(device, "timeline", None)
+        if timeline is not None:
+            self.pressure.attach(tier.tier_id, timeline)
         self._refresh_cache_and_meta()
         return tier
 
@@ -312,6 +320,7 @@ class MuxFileSystem(FileSystem):
             self.cache = None
             self._cache_tier_rank = 0
         self.registry.remove(tier_id)
+        self.pressure.detach(tier_id)
         # tier paths resolved through the dentry cache must not survive
         # the topology change
         self.ns.dcache.clear()
@@ -355,12 +364,22 @@ class MuxFileSystem(FileSystem):
             )
             self.cache.destage_fn = self._destage_evicted
             self._cache_tier_rank = scm.rank
+            self.pressure.set_dirty_gauge(
+                scm.tier_id,
+                lambda: (
+                    self.cache.dirty_block_count / self.cache.capacity_blocks
+                    if self.cache is not None and self.cache.capacity_blocks
+                    else 0.0
+                ),
+            )
 
     def tier_ids(self) -> List[int]:
         return self.registry.ids()
 
     def tier_states(self) -> List[TierState]:
-        return self.registry.states()
+        """Registry snapshots with sampled pressure signals attached."""
+        self.pressure.sample(self.clock.global_now_ns)
+        return self.pressure.decorate(self.registry.states())
 
     def inode_by_ino(self, ino: int) -> CollectiveInode:
         return self.ns.get(ino)
@@ -650,7 +669,14 @@ class MuxFileSystem(FileSystem):
             self.ns.resolve(old_path)  # must exist; successful no-op
             return
         now = self.clock.now()
-        moving = self.ns.rename(old_path, new_path, now)
+        moving, replaced_ino = self.ns.rename(old_path, new_path, now)
+        if replaced_ino is not None:
+            # the clobbered file's inode is gone and ino numbers are never
+            # reused: stale hotness must not pin it in the policy, and its
+            # cache slots must not survive the namespace entry
+            if self.cache is not None:
+                self.cache.invalidate_file(replaced_ino)
+            self.policy.forget(replaced_ino)
         self._rename_backing(moving, new_path)
         if self._meta is not None:
             self._meta.note(2)
@@ -725,6 +751,11 @@ class MuxFileSystem(FileSystem):
             raise IsADirectory(f"mux: read from directory {handle.path!r}")
         op_started_ns = self.clock.now_ns
         self.clock.advance_ns(cal.MUX_OP_BASE_NS + cal.MUX_OCC_CHECK_NS)
+        # keep the pressure gauges fresh on the read path too — reads are
+        # the majority op, and a burst the policy only notices at the next
+        # *write* is a burst it dodges one burst too late.  Sampling is
+        # interval-gated host work: no simulated time, no rng.
+        self.pressure.sample(self.clock.global_now_ns)
         if offset >= inode.size or length == 0:
             return b""
         length = min(length, inode.size - offset)
@@ -751,7 +782,11 @@ class MuxFileSystem(FileSystem):
                 SubRequest(tier_id, run_off, run_end - run_off, run_off - offset)
             )
         kinds = {t.tier_id: t.kind for t in self.registry.ordered()}
-        plan = self.scheduler.plan(subrequests, kinds)
+        backlog = None
+        if self.scheduler.pressure_order:
+            self.pressure.sample(self.clock.global_now_ns)
+            backlog = self.pressure.backlog_map()
+        plan = self.scheduler.plan(subrequests, kinds, backlog)
         self.stats.add("split_reads", max(0, len(plan) - 1))
 
         # error-scoped degraded reads (§2.4 robustness): fail with EIO
@@ -1321,7 +1356,7 @@ class MuxFileSystem(FileSystem):
         when the policy's own choice ignores health.
         """
         self.clock.advance_ns(cal.MUX_POLICY_NS)
-        states = self.registry.states()
+        states = self.tier_states()
         tier_id = self.policy.place_write(request, states)
         chosen = self.registry.get(tier_id)
         if not chosen.health.is_offline and self._tier_has_room(
@@ -1651,7 +1686,12 @@ class MuxFileSystem(FileSystem):
             except FileNotFound:
                 continue
             if self.engine.supports(order.src_tier, order.dst_tier):
-                self.engine.submit(order)
+                self.engine.submit(
+                    order,
+                    defer_while_hot=getattr(
+                        self.policy, "defer_hot_migrations", False
+                    ),
+                )
                 submitted += 1
         return submitted
 

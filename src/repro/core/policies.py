@@ -10,6 +10,14 @@
   the scheme Ziggurat-style tiered file systems employ.
 * :class:`PinnedPolicy` — static routing to one tier (used by the overhead
   benchmarks, where every request targets a single device).
+* :class:`PressureAwarePolicy` — queue/health-fed placement: routes write
+  bursts around saturated or SUSPECT tiers using the sampled
+  ``TierState.pressure`` signals, demotes off backlogged tiers, and
+  defers migrations toward hot channels.  Hysteresis (separate spill and
+  resume thresholds) keeps placement from flapping at the boundary.
+* :class:`TpfsPressurePolicy` / :class:`HotColdPressurePolicy` —
+  pressure-augmented variants of the blind heuristics above, for
+  like-for-like comparisons in the trace-replay benchmark.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.core.health import HealthState
 from repro.core.policy import (
     FileView,
     MigrationOrder,
@@ -25,6 +34,7 @@ from repro.core.policy import (
     TierState,
     fastest_with_room,
     register_policy,
+    tier_load,
     writable_tiers,
 )
 from repro.errors import PolicyError
@@ -257,6 +267,348 @@ class HotColdPolicy(Policy):
                             )
                         )
         return orders
+
+
+class PressureRouter:
+    """Shared pressure-routing machinery for the *-pressure policies.
+
+    Keeps a per-tier *avoid* flag with hysteresis: a tier is avoided once
+    its sampled per-channel load reaches ``spill_load`` and stays avoided
+    until the load decays to ``resume_load``, so placement does not flap
+    when the load hovers at one threshold.
+
+    Saturation spills go *uphill only* (toward a cool, roomy, faster
+    tier): absorbing a burst at memory speed and demoting later is a
+    transient cost, while spilling a soon-to-be-read block downhill turns
+    one hot minute into a permanent 8 ms read.  With no cool faster tier
+    the write stays at its base tier and eats the queue — bounded, and
+    strictly better than trading it for a slow placement.  A base tier
+    that is SUSPECT, full or missing is different: those writes must move
+    somewhere, so routing falls back to the nearest healthy non-avoided
+    tier in either direction.  OFFLINE tiers are never candidates.
+    """
+
+    def _init_pressure(
+        self, spill_load: float = 0.75, resume_load: float = 0.3
+    ) -> None:
+        if resume_load >= spill_load:
+            raise PolicyError("resume_load must be below spill_load")
+        self.spill_load = spill_load
+        self.resume_load = resume_load
+        #: tiers currently routed around (hysteresis state)
+        self._avoiding: Dict[int, bool] = {}
+        #: placements that left the base-rank tier because of pressure
+        self.pressure_spills = 0
+        #: migration orders dropped because their target channel was hot
+        self.deferred_orders = 0
+
+    def _update_avoid(self, tiers: List[TierState]) -> None:
+        for t in tiers:
+            load = tier_load(t)
+            if self._avoiding.get(t.tier_id):
+                if load <= self.resume_load:
+                    del self._avoiding[t.tier_id]
+            elif load >= self.spill_load:
+                self._avoiding[t.tier_id] = True
+
+    def _avoided(self, tier_id: int) -> bool:
+        return self._avoiding.get(tier_id, False)
+
+    def _route(
+        self,
+        base_rank: int,
+        tiers: List[TierState],
+        length: int,
+        reserve_fraction: float = 0.02,
+    ) -> int:
+        """Pick a tier near ``base_rank``, spilling around pressure."""
+        self._update_avoid(tiers)
+        candidates = writable_tiers(tiers)
+        if not candidates:
+            raise PolicyError("no writable tier (all offline)")
+
+        def roomy(t: TierState) -> bool:
+            reserve = int(t.total_bytes * reserve_fraction)
+            return t.free_bytes - reserve >= length
+
+        base = next((t for t in candidates if t.rank == base_rank), None)
+        if base is not None and base.health is HealthState.HEALTHY and roomy(base):
+            if not self._avoided(base.tier_id):
+                return base.tier_id
+            # saturation spill: only a cool, roomy, *faster* tier
+            uphill = [
+                t
+                for t in candidates
+                if t.rank < base_rank
+                and t.health is HealthState.HEALTHY
+                and not self._avoided(t.tier_id)
+                and roomy(t)
+            ]
+            if uphill:
+                self.pressure_spills += 1
+                return min(
+                    uphill,
+                    key=lambda t: (base_rank - t.rank, tier_load(t), t.rank),
+                ).tier_id
+            return base.tier_id  # nowhere cool and faster: eat the queue
+        # base tier SUSPECT, full or unregistered: the write must move —
+        # nearest healthy non-avoided tier in either direction wins
+        pool = [t for t in candidates if roomy(t)] or candidates
+
+        def key(t: TierState):
+            health = 0 if t.health is HealthState.HEALTHY else 1
+            avoiding = 1 if self._avoided(t.tier_id) else 0
+            dist = abs(t.rank - base_rank)
+            return (health, avoiding, dist, tier_load(t), t.rank)
+
+        return min(pool, key=key).tier_id
+
+
+@register_policy("pressure")
+class PressureAwarePolicy(PressureRouter, Policy):
+    """Queue/health-fed placement with pressure-deferred migrations.
+
+    Placement starts from the TPFS size/synchronicity rule (small or sync
+    writes aim at the fastest tier, large writes downhill) and then routes
+    around saturated or SUSPECT tiers via :class:`PressureRouter`.
+    Migration planning demotes the coldest resident files off any tier
+    whose load reaches ``demote_load``, promotes hot files to the fastest
+    tier only while it is cool, and drops (defers) any order whose
+    destination is currently avoided or above ``spill_load``.
+    """
+
+    defer_hot_migrations = True
+
+    def __init__(
+        self,
+        spill_load: float = 0.75,
+        resume_load: float = 0.3,
+        demote_load: float = 1.5,
+        demote_util: float = 0.85,
+        promote_util: float = 0.5,
+        small_io_bytes: int = 64 * 1024,
+        medium_io_bytes: int = 1024 * 1024,
+        history_window: int = 8,
+        hot_threshold: float = 4.0,
+        cold_threshold: float = 0.5,
+        decay: float = 0.8,
+        max_orders_per_plan: int = 32,
+        demote_files_per_plan: int = 4,
+        promote_files_per_plan: int = 2,
+    ) -> None:
+        self._init_pressure(spill_load, resume_load)
+        self.demote_load = demote_load
+        self.demote_util = demote_util
+        self.promote_util = promote_util
+        self.promote_files_per_plan = promote_files_per_plan
+        self.small_io_bytes = small_io_bytes
+        self.medium_io_bytes = medium_io_bytes
+        self.history_window = history_window
+        self.hot_threshold = hot_threshold
+        self.cold_threshold = cold_threshold
+        self.decay = decay
+        self.max_orders_per_plan = max_orders_per_plan
+        self.demote_files_per_plan = demote_files_per_plan
+        self._history: Dict[int, List[int]] = {}
+        self._heat: Dict[int, float] = {}
+
+    # -- placement --------------------------------------------------------
+
+    def place_write(self, request: PlacementRequest, tiers: List[TierState]) -> int:
+        history = self._history.setdefault(request.ino, [])
+        history.append(request.length)
+        del history[: -self.history_window]
+        avg = sum(history) / len(history)
+        if request.synchronous or avg <= self.small_io_bytes:
+            base_rank = 0
+        elif avg <= self.medium_io_bytes:
+            base_rank = 1
+        else:
+            base_rank = 2
+        return self._route(base_rank, tiers, request.length)
+
+    def on_access(
+        self, ino: int, block_start: int, count: int, tier_id: int, kind: str, now: float
+    ) -> None:
+        self._heat[ino] = self._heat.get(ino, 0.0) + 1.0
+
+    def forget(self, ino: int) -> None:
+        self._history.pop(ino, None)
+        self._heat.pop(ino, None)
+
+    # -- planning ---------------------------------------------------------
+
+    def _dst_is_cool(self, tier: TierState) -> bool:
+        return (
+            not self._avoiding.get(tier.tier_id)
+            and tier_load(tier) < self.spill_load
+            and tier.health is HealthState.HEALTHY
+        )
+
+    def plan_migrations(
+        self, tiers: List[TierState], files: Iterable[FileView]
+    ) -> List[MigrationOrder]:
+        self._update_avoid(tiers)
+        writable = sorted(writable_tiers(tiers), key=lambda t: t.rank)
+        if not writable:
+            return []
+        views = list(files)
+        heats: Dict[int, float] = {}
+        for view in views:
+            heat = self._heat.get(view.ino, 0.0)
+            heats[view.ino] = heat
+            if heat:
+                self._heat[view.ino] = heat * self.decay
+        orders: List[MigrationOrder] = []
+        fastest = writable[0]
+
+        # demotions: drain files off tiers that need relief.  Two distinct
+        # triggers: a backlogged or SUSPECT tier sheds its genuinely cold
+        # files (heat-gated — moving warm data off a busy tier just moves
+        # the heat), while a tier past the capacity watermark sheds its
+        # coldest residents *unconditionally*, because a full fast tier
+        # can no longer absorb the next burst and absorption is worth
+        # more than any individual file's placement.
+        relieving: List[Tuple[TierState, bool]] = []
+        for t in tiers:
+            if t.health is HealthState.OFFLINE:
+                continue
+            if tier_load(t) >= self.demote_load or t.health is HealthState.SUSPECT:
+                relieving.append((t, True))
+            elif t.utilization >= self.demote_util and any(
+                d.rank > t.rank for d in writable
+            ):
+                relieving.append((t, False))
+        for src, cold_gated in relieving:
+            dsts = [
+                t
+                for t in writable
+                if t.tier_id != src.tier_id and self._dst_is_cool(t)
+            ]
+            if not dsts:
+                self.deferred_orders += 1
+                continue
+            dst = min(
+                dsts,
+                key=lambda t: (0 if t.rank > src.rank else 1, tier_load(t), t.rank),
+            )
+            resident = [
+                v
+                for v in views
+                if (not cold_gated or heats[v.ino] <= self.cold_threshold)
+                and any(r[2] == src.tier_id for r in v.runs)
+            ]
+            resident.sort(key=lambda v: (heats[v.ino], v.ino))
+            for view in resident[: self.demote_files_per_plan]:
+                if len(orders) >= self.max_orders_per_plan:
+                    break
+                for start, count, tier in view.runs:
+                    if tier == src.tier_id:
+                        orders.append(
+                            MigrationOrder(
+                                view.ino,
+                                start,
+                                count,
+                                src.tier_id,
+                                dst.tier_id,
+                                reason="pressure-demote",
+                            )
+                        )
+
+        # promotions: hot files float to the fastest tier, but only while
+        # its channels are cool — promoting into a burst makes the tail —
+        # and only while it has headroom: a fast tier filled to the brim
+        # with promoted files cannot absorb the next burst, and absorption
+        # is the cheaper way to cut the tail.  ``promote_files_per_plan``
+        # rations the copy traffic each round so promotions trickle into
+        # cool windows instead of warring with foreground I/O.
+        if self._dst_is_cool(fastest) and fastest.utilization < self.promote_util:
+            hot = [v for v in views if heats[v.ino] >= self.hot_threshold]
+            hot.sort(key=lambda v: (-heats[v.ino], v.ino))
+            promoted = 0
+            for view in hot:
+                if (
+                    promoted >= self.promote_files_per_plan
+                    or len(orders) >= self.max_orders_per_plan
+                ):
+                    break
+                moved = False
+                for start, count, tier in view.runs:
+                    if tier is not None and tier != fastest.tier_id:
+                        moved = True
+                        orders.append(
+                            MigrationOrder(
+                                view.ino,
+                                start,
+                                count,
+                                tier,
+                                fastest.tier_id,
+                                reason="pressure-promote",
+                            )
+                        )
+                if moved:
+                    promoted += 1
+        else:
+            self.deferred_orders += 1
+        return orders[: self.max_orders_per_plan]
+
+
+@register_policy("tpfs-pressure")
+class TpfsPressurePolicy(PressureRouter, TpfsPolicy):
+    """TPFS size/synchronicity rule, spilling around saturated tiers."""
+
+    defer_hot_migrations = True
+
+    def __init__(
+        self,
+        spill_load: float = 0.75,
+        resume_load: float = 0.3,
+        **kwargs: object,
+    ) -> None:
+        TpfsPolicy.__init__(self, **kwargs)
+        self._init_pressure(spill_load, resume_load)
+
+    def place_write(self, request: PlacementRequest, tiers: List[TierState]) -> int:
+        base_id = TpfsPolicy.place_write(self, request, tiers)
+        base_rank = next(t.rank for t in tiers if t.tier_id == base_id)
+        return self._route(base_rank, tiers, request.length)
+
+
+@register_policy("hotcold-pressure")
+class HotColdPressurePolicy(PressureRouter, HotColdPolicy):
+    """Hot/cold temperature tiering that respects channel pressure."""
+
+    defer_hot_migrations = True
+
+    def __init__(
+        self,
+        spill_load: float = 0.75,
+        resume_load: float = 0.3,
+        **kwargs: object,
+    ) -> None:
+        HotColdPolicy.__init__(self, **kwargs)
+        self._init_pressure(spill_load, resume_load)
+
+    def place_write(self, request: PlacementRequest, tiers: List[TierState]) -> int:
+        base_rank = fastest_with_room(tiers, request.length).rank
+        return self._route(base_rank, tiers, request.length)
+
+    def plan_migrations(
+        self, tiers: List[TierState], files: Iterable[FileView]
+    ) -> List[MigrationOrder]:
+        self._update_avoid(tiers)
+        by_id = {t.tier_id: t for t in tiers}
+        orders = HotColdPolicy.plan_migrations(self, tiers, files)
+        kept: List[MigrationOrder] = []
+        for order in orders:
+            dst = by_id.get(order.dst_tier)
+            if dst is not None and (
+                self._avoiding.get(dst.tier_id) or tier_load(dst) >= self.spill_load
+            ):
+                self.deferred_orders += 1
+                continue
+            kept.append(order)
+        return kept
 
 
 @register_policy("pinned")

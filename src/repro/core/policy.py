@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.health import HealthState
+from repro.core.pressure import TierPressure
 from repro.devices.profile import DeviceKind
 from repro.errors import PolicyError
 
@@ -33,6 +34,9 @@ class TierState:
     free_bytes: int
     total_bytes: int
     health: HealthState = HealthState.HEALTHY
+    #: queue/dirty load signals sampled by the PressureMonitor; None when
+    #: the tier has no tracked device timeline (or in bare unit tests)
+    pressure: Optional[TierPressure] = None
 
     @property
     def used_bytes(self) -> int:
@@ -84,6 +88,10 @@ class Policy(ABC):
     """Base class for tiering policies."""
 
     name: str = "policy"
+    #: pressure-aware policies set True: maintain_async then submits their
+    #: migrations with defer_while_hot, so a copy planned toward a cool
+    #: tier still waits if the target channel is mid-burst at run time
+    defer_hot_migrations: bool = False
 
     @abstractmethod
     def place_write(
@@ -124,6 +132,11 @@ def writable_tiers(tiers: List[TierState]) -> List[TierState]:
     if healthy:
         return healthy
     return [t for t in tiers if t.health is not HealthState.OFFLINE]
+
+
+def tier_load(tier: TierState) -> float:
+    """The tier's sampled channel load; 0.0 when pressure is untracked."""
+    return tier.pressure.load if tier.pressure is not None else 0.0
 
 
 def fastest_with_room(

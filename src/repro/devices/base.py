@@ -126,6 +126,18 @@ class DeviceTimeline:
             self.max_queued = len(self._inflight)
         return begin, complete
 
+    def queued_at(self, now_ns: int) -> int:
+        """Requests still in flight at ``now_ns`` (pure; does not prune).
+
+        The backlog signal the pressure monitor samples: completions
+        booked past ``now_ns`` are work the device still owes.
+        """
+        count = 0
+        for complete in self._inflight:
+            if complete > now_ns:
+                count += 1
+        return count
+
     def utilization(self, now_ns: int) -> float:
         """Fraction of total channel-time spent servicing requests."""
         if now_ns <= 0:

@@ -132,10 +132,18 @@ class TaskRunner:
     def pending(self) -> int:
         return sum(1 for t in self._tasks if not t.done)
 
-    def tick(self) -> int:
-        """Advance every live task by one step; returns live-task count."""
+    def tick(self, gate: Optional[Callable[[Task], bool]] = None) -> int:
+        """Advance every live task by one step; returns live-task count.
+
+        ``gate(task)`` may veto stepping a live task this tick (it still
+        counts as live) — the hook drivers use to hold back background
+        tasks whose time cursor has raced ahead of the global clock.
+        """
         live = 0
         for task in list(self._tasks):
+            if gate is not None and not task.done and not gate(task):
+                live += 1
+                continue
             if task.step():
                 live += 1
         self._reap()

@@ -10,10 +10,10 @@ layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.core.mux import MuxFileSystem
-from repro.core.policy import Policy
+from repro.core.policy import Policy, make_policy
 from repro.core.scheduler import IoScheduler
 from repro.devices.faults import FaultConfig, FaultInjector
 from repro.devices.hdd import HardDiskDrive
@@ -68,7 +68,7 @@ class Stack:
 def build_stack(
     tiers: Optional[List[str]] = None,
     capacities: Optional[Dict[str, int]] = None,
-    policy: Optional[Policy] = None,
+    policy: Optional[Union[Policy, str]] = None,
     enable_cache: bool = True,
     cache_write_back: bool = False,
     cache_scan_resist: bool = False,
@@ -79,12 +79,21 @@ def build_stack(
     fault_seed: int = 2025,
     profiles: Optional[Dict[str, "DeviceProfile"]] = None,
     readahead_background: bool = False,
+    pressure_interval_ns: Optional[int] = None,
 ) -> Stack:
     """Assemble devices, native file systems, the VFS and Mux.
 
     ``tiers`` selects a subset of ``["pm", "ssd", "hdd"]`` (default: all
     three, the paper's hierarchy).  Each tier gets its paper-matched
     device and file system: NOVA on PM, XFS on SSD, Ext4 on HDD.
+
+    ``policy`` accepts either a :class:`Policy` instance or a registered
+    policy name (``make_policy`` shorthand, used by the head-to-head
+    benchmarks that sweep the registry).
+
+    ``pressure_interval_ns`` overrides the PressureMonitor's sampling
+    interval — shorter means placement reacts to a burst sooner, at a
+    little more host CPU per operation.
 
     ``faults`` maps tier names to :class:`FaultConfig`s; each named tier's
     device gets a :class:`FaultInjector` with an independent rng substream
@@ -111,6 +120,8 @@ def build_stack(
     clock = clock if clock is not None else SimClock()
     vfs = VFS(clock)
 
+    if isinstance(policy, str):
+        policy = make_policy(policy)
     kwargs = {}
     if blt_factory is not None:
         kwargs["blt_factory"] = blt_factory
@@ -124,6 +135,8 @@ def build_stack(
         scheduler=scheduler,
         **kwargs,
     )
+    if pressure_interval_ns is not None:
+        mux.pressure.sample_interval_ns = pressure_interval_ns
 
     devices: Dict[str, object] = {}
     filesystems: Dict[str, object] = {}

@@ -345,8 +345,18 @@ class TestSaturationKnee:
         )
         return Device("d0", profile, 4 * MIB, clock)
 
-    def test_disabled_by_default(self):
-        dev = Device("d0", OPTANE_SSD_P4800X, 4 * MIB, SimClock())
+    def test_stock_profiles_carry_calibrated_knees(self):
+        # the shipped profiles model each device's published loaded-latency
+        # curve, so the knee is on by default with spec-sheet parameters;
+        # knee_depth=0 in a custom profile still opts out entirely
+        from repro.devices.profile import OPTANE_PMEM_200, SEAGATE_EXOS_X18
+
+        for profile in (OPTANE_PMEM_200, OPTANE_SSD_P4800X, SEAGATE_EXOS_X18):
+            dev = Device("d0", profile, 4 * MIB, SimClock())
+            assert dev.timeline.knee_depth == profile.knee_depth > 0
+            assert dev.timeline.knee_penalty == profile.knee_penalty > 0.0
+        flat = replace(OPTANE_SSD_P4800X, knee_depth=0, knee_penalty=0.0)
+        dev = Device("d1", flat, 4 * MIB, SimClock())
         assert dev.timeline.knee_depth == 0
         assert "knee_ops" not in dev.timeline.snapshot()
 
@@ -354,7 +364,12 @@ class TestSaturationKnee:
         # a knee at depth 0 must not perturb a single nanosecond, even
         # under overlapped submissions that build real backlog
         clock_a, clock_b = SimClock(), SimClock()
-        plain = Device("d0", OPTANE_SSD_P4800X, 4 * MIB, clock_a)
+        plain = Device(
+            "d0",
+            replace(OPTANE_SSD_P4800X, knee_depth=0, knee_penalty=0.0),
+            4 * MIB,
+            clock_a,
+        )
         kneed = self._kneed_ssd(clock_b, knee_depth=0, knee_penalty=0.5)
         done_a, done_b = [], []
         for i in range(20):
@@ -422,7 +437,8 @@ class TestSaturationKnee:
         profile = replace(OPTANE_SSD_P4800X, knee_depth=4, knee_penalty=0.25)
         stack = build_stack(profiles={"ssd": profile})
         assert stack.devices["ssd"].timeline.knee_depth == 4
-        assert stack.devices["pm"].timeline.knee_depth == 0
+        # un-overridden tiers keep their profile's calibrated knee
+        assert stack.devices["pm"].timeline.knee_depth == OPTANE_PMEM_200.knee_depth
 
     def test_build_stack_rejects_unknown_override_tier(self):
         from repro.errors import InvalidArgument

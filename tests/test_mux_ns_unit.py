@@ -92,7 +92,9 @@ class TestMutation:
 
     def test_rename_same_path_is_noop(self, ns):
         inode = ns.create_file("/f", 1.0, 0o644, initial_tier=0)
-        assert ns.rename("/f", "/f", 2.0) is inode
+        moved, replaced = ns.rename("/f", "/f", 2.0)
+        assert moved is inode
+        assert replaced is None
 
     def test_custom_blt_injected(self, ns):
         blt = ExtentBlt()
