@@ -3,9 +3,11 @@ and prints the paper-vs-measured tables recorded in EXPERIMENTS.md.
 
 Subcommands: ``wallclock`` (host-CPU trajectory harness + ``--smoke`` CI
 drift guard), ``profile`` (cProfile hotspot report for any registered
-wall-clock workload) and ``trace`` (record a mixed workload under fault
+wall-clock workload), ``trace`` (record a mixed workload under fault
 injection, print per-migration retry/backoff telemetry, replay against a
-healthy stack)."""
+healthy stack) and ``crashexplore`` (enumerate every sync point of the
+canonical workload, crash at each one, verify recovery; ``--smoke``
+explores a strided subset for CI)."""
 
 from __future__ import annotations
 
@@ -28,6 +30,10 @@ def main() -> int:
         from repro.bench.trace import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "crashexplore":
+        from repro.tools.crashexplore import main as crashexplore_main
+
+        return crashexplore_main(argv[1:])
     fast = "--fast" in argv
     print(run_all(fast=fast))
     return 0

@@ -348,7 +348,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"write_hit={counters.get('write_hit', 0)} "
             f"destage_runs={counters.get('destage_runs', 0)} "
             f"destaged_blocks={counters.get('destaged_blocks', 0)} "
-            f"dirty_blocks={counters.get('dirty_blocks', 0)}"
+            f"dirty_blocks={counters.get('dirty_blocks', 0)} "
+            f"destage_lost={counters.get('destage_lost', 0)}"
         )
 
     label = "faulty ssd" if faulty else "no faults"

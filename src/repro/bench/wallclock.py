@@ -706,6 +706,33 @@ def _wl_strata_fileserver(smoke: bool) -> Dict[str, object]:
     }
 
 
+def _wl_crash_matrix(smoke: bool) -> Dict[str, object]:
+    """Crash-state explorer as a drift guard: the census point count, the
+    per-label histogram and the summed post-recovery clocks must all be
+    bit-stable, and every explored state must still recover cleanly."""
+    from repro.tools.crashexplore import explore
+
+    t0 = time.perf_counter()
+    report = explore(smoke=smoke)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "ops": report["states_explored"],
+        "bytes": 0,
+        "sim_elapsed_s": report["clock_sum_ns"] / 1e9,
+        "fingerprint": {
+            "now_ns": report["clock_sum_ns"],
+            "devices": {},
+            "cache": {},
+            "sync_points": report["sync_points"],
+            "by_label": report["by_label"],
+            "states": report["states_explored"],
+            "failures": len(report["failures"]),
+            "lost_intervals": report["lost_intervals_reported"],
+        },
+    }
+
+
 WORKLOADS: List[Tuple[str, Callable[[bool], Dict[str, object]]]] = [
     ("seq_write", _wl_seq_write),
     ("seq_read", _wl_seq_read),
@@ -722,6 +749,7 @@ WORKLOADS: List[Tuple[str, Callable[[bool], Dict[str, object]]]] = [
     ("trace_replay", _wl_trace_replay),
     ("tenant_policy_duel", _wl_tenant_policy_duel),
     ("strata_fileserver", _wl_strata_fileserver),
+    ("crash_matrix", _wl_crash_matrix),
 ]
 
 

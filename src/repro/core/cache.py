@@ -39,7 +39,7 @@ from repro.core import calibration as cal
 from repro.core.intervals import BlockIntervalSet, Run, intersect_runs
 from repro.core.mglru import MultiGenLru
 from repro.devices.pm import PersistentMemoryDevice
-from repro.errors import ReproError
+from repro.errors import CrashTriggered, ReproError
 from repro.fs.nova import NovaFileSystem
 from repro.sim.clock import SimClock
 from repro.sim.stats import CounterSet
@@ -94,6 +94,13 @@ class ScmCacheManager:
         self._streams: Dict[int, Tuple[int, int]] = {}
         #: installed by Mux once it can route destage writes to tiers
         self.destage_fn: Optional[DestageFn] = None
+        #: installed by Mux: called with (ino, [(fb, count)]) whenever an
+        #: absorbed write is dropped because its destage failed, so the
+        #: loss can be latched on the inode (errseq) and reported by fsck
+        self.on_lost: Optional[Callable[[int, List[Run]], None]] = None
+        #: dirty intervals dropped by failed destages, for fsck reporting:
+        #: ino -> [(file_block, count)]
+        self._lost: Dict[int, List[Run]] = {}
         self._pm, self._slot_addrs = self._map_cache_file(scm_fs)
 
     def _map_cache_file(
@@ -277,14 +284,22 @@ class ScmCacheManager:
             if self.destage_fn is not None:
                 try:
                     self.destage_fn(v_ino, [(v_fb, 1)])
+                except CrashTriggered:
+                    raise  # power loss is not a destage failure to absorb
                 except ReproError:
                     pass
             if self.is_dirty(v_ino, v_fb):
                 # destage failed (offline tier, no callback): the block is
                 # being evicted, so the absorbed write is lost — modeled
-                # data loss under cache pressure plus tier failure.
+                # data loss under cache pressure plus tier failure.  The
+                # interval is recorded (not just counted) so fsck can
+                # report exactly which bytes vanished, and the mux latches
+                # it on the inode's errseq for once-per-fd EIO reporting.
                 self.mark_clean(v_ino, v_fb, 1)
                 self.stats.add("destage_lost")
+                self._lost.setdefault(v_ino, []).append((v_fb, 1))
+                if self.on_lost is not None:
+                    self.on_lost(v_ino, [(v_fb, 1)])
         self._free_slots.append(self._slots.pop(victim))
         self._index_remove(v_ino, v_fb)
         self.stats.add("evict")
@@ -441,6 +456,28 @@ class ScmCacheManager:
         if blocks:
             self.stats.add("destaged_blocks", blocks)
 
+    def lost_intervals(self, ino: Optional[int] = None) -> List[Tuple[int, int, int]]:
+        """``(ino, file_block, count)`` intervals dropped by failed destages.
+
+        The ledger survives until :meth:`clear_lost` (or the file's
+        invalidation), so fsck can report the loss after recovery instead
+        of silently repairing around it.
+        """
+        if ino is not None:
+            return [(ino, fb, n) for fb, n in self._lost.get(ino, [])]
+        return [
+            (i, fb, n)
+            for i in sorted(self._lost)
+            for fb, n in self._lost[i]
+        ]
+
+    def clear_lost(self, ino: Optional[int] = None) -> None:
+        """Acknowledge reported losses (fsck's reconcile does this)."""
+        if ino is None:
+            self._lost.clear()
+        else:
+            self._lost.pop(ino, None)
+
     # -- invalidation ------------------------------------------------------
 
     def invalidate(self, ino: int, file_block: int) -> bool:
@@ -489,6 +526,7 @@ class ScmCacheManager:
     def invalidate_file(self, ino: int) -> int:
         """Drop every cached block of a file (unlink/truncate)."""
         blocks = self._by_ino.get(ino)
+        self._lost.pop(ino, None)  # dead file: its lost intervals are moot
         if not blocks:
             self._streams.pop(ino, None)
             self._dirty.pop(ino, None)  # defensive: orphaned marks die too

@@ -55,6 +55,7 @@ from repro.errors import (
     PolicyError,
     ReproError,
     TierUnavailable,
+    WritebackError,
 )
 from repro.fs.nova import NovaFileSystem
 from repro.sim.clock import SimClock
@@ -192,6 +193,12 @@ class MuxFileSystem(FileSystem):
         self.qos = None
         #: open submit/complete rings (see open_ring)
         self._rings: List["IoRing"] = []
+        #: mux-level errseq ledger (kernel errseq_t analogue): bumped when
+        #: an absorbed write is lost to a failed destage or a tier fsync
+        #: reports a writeback error, so every open mux fd observes EIO at
+        #: its next fsync exactly once
+        self._wb_errseq: Dict[int, int] = {}
+        self._wb_lost: Dict[int, List[Tuple[int, int]]] = {}
 
     def enable_qos(self):
         """Attach a :class:`~repro.core.qos.QosManager`; returns it."""
@@ -363,6 +370,7 @@ class MuxFileSystem(FileSystem):
                 scan_resist=self.cache_scan_resist,
             )
             self.cache.destage_fn = self._destage_evicted
+            self.cache.on_lost = self._note_destage_lost
             self._cache_tier_rank = scm.rank
             self.pressure.set_dirty_gauge(
                 scm.tier_id,
@@ -603,7 +611,50 @@ class MuxFileSystem(FileSystem):
 
     def _make_handle(self, inode: CollectiveInode, path: str, flags: int) -> FileHandle:
         # callers pass already-canonical paths; don't re-normalize
-        return FileHandle(self, inode.ino, path, flags)
+        handle = FileHandle(self, inode.ino, path, flags)
+        # errseq sample: fds opened after an error don't re-report it
+        handle.wb_err = self._wb_errseq.get(inode.ino, 0)
+        return handle
+
+    # -- writeback-error ledger (mux-level errseq_t) ---------------------
+
+    def _note_destage_lost(
+        self, ino: int, runs: List[Tuple[int, int]]
+    ) -> None:
+        """Record absorbed writes dropped by a failed destage.
+
+        Invoked by the cache when eviction-forced destage fails against a
+        persistent tier error and the dirty blocks are discarded.  Bumps
+        the inode's error sequence so every open fd sees EIO at its next
+        fsync, and files the intervals for fsck's loss audit.
+        """
+        self._wb_errseq[ino] = self._wb_errseq.get(ino, 0) + 1
+        self._wb_lost.setdefault(ino, []).extend(runs)
+        self.stats.add("wb_errors")
+
+    def _check_wb_error(self, handle: FileHandle) -> None:
+        """errseq check-and-advance: raise EIO once per fd per error."""
+        seq = self._wb_errseq.get(handle.ino, 0)
+        if handle.wb_err < seq:
+            handle.wb_err = seq
+            raise WritebackError(
+                f"mux: previous writeback of ino {handle.ino} failed"
+            )
+
+    def _consume_wb_error(self, handle: FileHandle) -> None:
+        """Mark the current error seen (the fd that observed the failure
+        directly must not see the same error again at its next fsync)."""
+        handle.wb_err = self._wb_errseq.get(handle.ino, 0)
+
+    def lost_intervals(self, ino: Optional[int] = None) -> List[Tuple[int, int, int]]:
+        """``(ino, file_block, count)`` intervals lost to failed destages."""
+        if ino is not None:
+            return [(ino, fb, n) for fb, n in self._wb_lost.get(ino, [])]
+        return [
+            (i, fb, n)
+            for i in sorted(self._wb_lost)
+            for fb, n in self._wb_lost[i]
+        ]
 
     def open(self, path: str, flags: int = OpenFlags.RDWR) -> FileHandle:
         self._charge_base()
@@ -655,6 +706,8 @@ class MuxFileSystem(FileSystem):
         if self.cache is not None:
             self.cache.invalidate_file(inode.ino)
         self.policy.forget(inode.ino)
+        self._wb_errseq.pop(inode.ino, None)
+        self._wb_lost.pop(inode.ino, None)
         self.ns.unlink(path, self.clock.now())
         if self._meta is not None:
             self._meta.note(1)
@@ -1526,6 +1579,25 @@ class MuxFileSystem(FileSystem):
         handle.ensure_open()
         inode = self.ns.get(handle.ino)
         self._charge_base()
+        try:
+            wb_failed = self._fsync_fanout(inode)
+        except ReproError:
+            # the error reached this fd directly; per the errseq contract
+            # it must not ALSO see a WritebackError at its next fsync
+            self._consume_wb_error(handle)
+            raise
+        if wb_failed:
+            # a tier FS reported a buffered-writeback failure against its
+            # (shared, long-lived) tier handle; fold it into the mux-level
+            # ledger so every open mux fd observes it exactly once
+            self._wb_errseq[inode.ino] = self._wb_errseq.get(inode.ino, 0) + 1
+            self.stats.add("wb_errors")
+        self.stats.add("fsync")
+        self._check_wb_error(handle)
+
+    def _fsync_fanout(self, inode: CollectiveInode) -> bool:
+        """Destage + flush every participating tier; True if any tier
+        reported a writeback error (data already lost at the tier FS)."""
         if self.cache is not None and self.cache.write_back and not inode.is_dir:
             # absorbed writes must reach their owning tiers before those
             # tiers' fsyncs below make them durable (the destage registers
@@ -1549,18 +1621,28 @@ class MuxFileSystem(FileSystem):
         # the fan-out flushes independent devices: overlap them
         overlap = self.scheduler.parallel and len(targets) > 1
         completions: List[int] = []
+        wb_failed = False
         for tier, tier_handle in targets:
             if overlap:
                 self.clock.push_frame()
                 try:
-                    self._tier_io(tier, lambda h=tier_handle: self.vfs.fsync(h))
+                    try:
+                        self._tier_io(
+                            tier, lambda h=tier_handle: self.vfs.fsync(h)
+                        )
+                    except WritebackError:
+                        # already-lost data: keep flushing the other tiers
+                        wb_failed = True
                 finally:
                     completions.append(self.clock.pop_frame())
             else:
-                self._tier_io(tier, lambda h=tier_handle: self.vfs.fsync(h))
+                try:
+                    self._tier_io(tier, lambda h=tier_handle: self.vfs.fsync(h))
+                except WritebackError:
+                    wb_failed = True
         if completions:
             self.clock.advance_to(max(completions))
-        self.stats.add("fsync")
+        return wb_failed
 
     # ==================================================================
     # metadata operations
@@ -1852,6 +1934,10 @@ class MuxFileSystem(FileSystem):
             inode.tier_handles.clear()
             inode.migration_active = False
             inode.dirty_during_migration.clear()
+        # the errseq ledger is DRAM state: pending error reports die with
+        # the kernel (the losses themselves persist in the cache's ledger)
+        self._wb_errseq.clear()
+        self._wb_lost.clear()
         for tier in self.registry.ordered():
             tier.fs.crash()
 
@@ -1863,3 +1949,30 @@ class MuxFileSystem(FileSystem):
             fastest = self.registry.fastest()
             if fastest.fs.exists(META_FILE):
                 fastest.fs.read_file(META_FILE)
+        self._reconcile_namespace()
+
+    def _reconcile_namespace(self) -> None:
+        """Drop references to backing files that vanished across a crash.
+
+        A crash between an unlink's per-tier deletions and its namespace
+        commit leaves the collective inode pointing at backing files that
+        no longer exist.  Mount-time reconciliation (the orphan scan every
+        journaling FS performs) prunes those references — and any BLT runs
+        stranded on them — so fsck sees a consistent namespace instead of
+        dangling tier pointers.  Offline tiers are left alone: their
+        backing files are unreachable, not deleted.
+        """
+        for inode in self.ns.files():
+            for tier_id in sorted(inode.tiers_present):
+                tier = self.registry.maybe_get(tier_id)
+                if tier is None or tier.health.is_offline:
+                    continue
+                if self.vfs.exists(self._tier_path(tier, inode)):
+                    continue
+                inode.tiers_present.discard(tier_id)
+                inode.tier_handles.pop(tier_id, None)
+                end = inode.blt.end_block()
+                for start, count, tid in list(inode.blt.runs(0, end)):
+                    if tid == tier_id:
+                        inode.blt.unmap_range(start, count)
+                self.stats.add("recover_pruned_tier_refs")

@@ -39,6 +39,8 @@ mid-submission — matching a CQE with a negative ``res``.  Host-side bugs
 
 from __future__ import annotations
 
+import errno as _errno
+
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
@@ -75,6 +77,18 @@ class Completion:
     def latency_ns(self) -> int:
         """Submit-to-complete latency on the simulated clock."""
         return self.completed_ns - self.submitted_ns
+
+    @property
+    def errno(self) -> int:
+        """POSIX errno of the failed op, 0 on success (the CQE ``res`` sign).
+
+        FS errors carry their own errno (a failed writeback reports EIO
+        exactly once per fd, via the errseq check in the fsync path);
+        device-level errors that escape the FS default to EIO.
+        """
+        if self.error is None:
+            return 0
+        return getattr(self.error, "errno", _errno.EIO)
 
     def unwrap(self) -> Any:
         """Return ``result``, re-raising the op's error if it failed."""

@@ -108,6 +108,19 @@ class NotSupported(FsError):
     errno = errno.ENOTSUP
 
 
+class WritebackError(FsError):
+    """A previously buffered writeback failed; reported at fsync (EIO).
+
+    Mirrors the kernel's ``errseq_t`` contract: the failure is latched on
+    the inode when writeback gives up on dirty pages, and each open fd
+    observes it exactly once — the first fsync after the failure returns
+    EIO, subsequent fsyncs on the same fd succeed (what happened to the
+    data meanwhile is per-FS policy: ext4 dropped it, XFS kept retrying).
+    """
+
+    errno = errno.EIO
+
+
 class TierUnavailable(FsError):
     """The tier holding the requested blocks is offline (EIO).
 

@@ -26,6 +26,11 @@ class Ext4FileSystem(JournaledFileSystem):
     op_cost_ns = 2200
     delayed_allocation = False
     journal_fraction = 0.02  # ext4 reserves a relatively larger journal
+    #: ext4's failed-fsync behavior: dirty pages are marked clean and
+    #: forgotten, so the *next* fsync succeeds even though the data never
+    #: reached the disk — the loss is visible only through the errseq
+    #: report on each open fd (and our fsck lost-interval audit)
+    wb_failure_policy = "clean"
 
     def __init__(self, fs_name: str, device: Device, clock: SimClock) -> None:
         super().__init__(fs_name, device, clock)

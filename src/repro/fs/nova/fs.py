@@ -38,6 +38,10 @@ class NovaFileSystem(NativeFileSystem):
     #: per-op software cost: NOVA's syscall path is short (no page cache,
     #: no block layer); measured NOVA syscalls are a couple of microseconds
     op_cost_ns = 1200
+    #: DAX writes persist in place at syscall return: there is no deferred
+    #: writeback, hence no writeback *loss* — a failing store surfaces at
+    #: write() time and the errseq ledger stays empty
+    wb_failure_policy = "none"
     #: fraction of the device reserved for inode logs and the inode table
     log_reserve_fraction = 0.02
 
@@ -202,6 +206,38 @@ class NovaFileSystem(NativeFileSystem):
         self._open_handles.clear()
 
     def recover(self) -> None:
-        """Charge the mount-time log scan (state itself is already durable)."""
+        """Charge the mount-time log scan and rebuild volatile state.
+
+        NOVA keeps no persistent allocator: the free list is volatile and
+        reconstructed from the per-inode logs at mount (Xu & Swanson
+        §3.6).  The same scan resolves half-applied operations: an inode
+        whose last log commit left it unreachable from the root (a crash
+        inside the unlink window) is reaped, and blocks reserved for a
+        copy-on-write whose index flip never committed return to the free
+        pool instead of leaking.
+        """
         scan_entries = max(1, self.stats.get("log_entries"))
         self.pm.load(0, min(scan_entries * LOG_ENTRY_BYTES, self.pm.capacity_bytes))
+        reachable = set()
+        stack = [self._root]
+        while stack:
+            inode = stack.pop()
+            if inode.ino in reachable:
+                continue
+            reachable.add(inode.ino)
+            if inode.is_dir:
+                for child_ino in inode.entries.values():
+                    child = self.inodes.maybe_get(child_ino)
+                    if child is not None:
+                        stack.append(child)
+        for inode in list(self.inodes):
+            if inode.ino not in reachable:
+                self.inodes.free(inode.ino)
+                self.stats.add("reaped_orphans")
+        rebuilt = BitmapAllocator(self._data_base, self._data_blocks)
+        for inode in self.inodes:
+            if inode.is_dir:
+                continue
+            for extent in inode.blockmap:
+                rebuilt.mark_allocated(extent.value, extent.count)
+        self.allocator = rebuilt

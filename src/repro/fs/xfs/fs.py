@@ -30,6 +30,11 @@ class XfsFileSystem(JournaledFileSystem):
     journal_fraction = 0.01
     #: number of allocation groups (real XFS default: 4 per device)
     allocation_groups = 4
+    #: XFS keeps pages dirty after a failed writeback and retries on the
+    #: next fsync; the retry budget bounds how long a latched media error
+    #: can pin dirty pages before they are dropped (and recorded as lost)
+    wb_failure_policy = "keep"
+    wb_retry_limit = 3
 
     def __init__(self, fs_name: str, device: Device, clock: SimClock) -> None:
         super().__init__(fs_name, device, clock)

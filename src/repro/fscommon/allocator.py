@@ -127,6 +127,15 @@ class BitmapAllocator:
         start, _ = self.alloc_run(1, hint)
         return start
 
+    def mark_allocated(self, start: int, count: int = 1) -> None:
+        """Force-mark a run allocated (recovery scans rebuilding the bitmap
+        from inode block maps; already-set bits are left alone)."""
+        for block in range(start, start + count):
+            idx = self._index(block)
+            if not self._bitmap[idx]:
+                self._bitmap[idx] = 1
+                self._free -= 1
+
     # -- freeing ---------------------------------------------------------------
 
     def free_run(self, start: int, count: int = 1) -> None:

@@ -20,6 +20,8 @@ from repro.errors import (
     InvalidArgument,
     IsADirectory,
     NotADirectory,
+    ReproError,
+    WritebackError,
 )
 from repro.sim.clock import SimClock
 from repro.sim.stats import CounterSet
@@ -53,6 +55,12 @@ class NativeFileSystem(FileSystem):
         self.stats = CounterSet()
         self._root = self.inodes.alloc(FileType.DIRECTORY, clock.now(), 0o755)
         self._open_handles: Dict[int, int] = {}  # ino -> open count
+        #: errseq_t: per-inode writeback-error sequence, bumped whenever
+        #: writeback gives up on dirty data; fds sample it at open time
+        self._wb_errseq: Dict[int, int] = {}
+        #: dirty intervals writeback dropped: ino -> [(file_block, count)]
+        #: — fsck reads these to flag silently-lost data
+        self._wb_lost: Dict[int, List[Tuple[int, int]]] = {}
 
     # ------------------------------------------------------------------
     # hooks for subclasses
@@ -185,8 +193,50 @@ class NativeFileSystem(FileSystem):
     def _make_handle(self, inode: Inode, path: str, flags: int) -> FileHandle:
         # create/open hand us canonical paths; don't re-normalize
         handle = FileHandle(self, inode.ino, path, flags)
+        handle.wb_err = self._wb_errseq.get(inode.ino, 0)
         self._open_handles[inode.ino] = self._open_handles.get(inode.ino, 0) + 1
         return handle
+
+    # ------------------------------------------------------------------
+    # writeback-error tracking (errseq_t)
+    # ------------------------------------------------------------------
+
+    def _note_writeback_error(
+        self, ino: int, lost: Optional[List[Tuple[int, int]]] = None
+    ) -> None:
+        """Latch a writeback failure on the inode (errseq bump).
+
+        ``lost`` names dirty (file_block, count) intervals the failure
+        policy dropped; fsck surfaces them as silently-lost data.
+        """
+        self._wb_errseq[ino] = self._wb_errseq.get(ino, 0) + 1
+        if lost:
+            self._wb_lost.setdefault(ino, []).extend(lost)
+        self.stats.add("wb_errors")
+
+    def _check_wb_error(self, handle: FileHandle) -> None:
+        """errseq check-and-advance: each fd sees the error at most once."""
+        seq = self._wb_errseq.get(handle.ino, 0)
+        if handle.wb_err < seq:
+            handle.wb_err = seq
+            raise WritebackError(
+                f"{self.fs_name}: earlier writeback of ino {handle.ino} failed"
+            )
+
+    def _consume_wb_error(self, handle: FileHandle) -> None:
+        """Advance the fd's sample without raising (the fd is observing the
+        failure right now, through the original exception)."""
+        handle.wb_err = self._wb_errseq.get(handle.ino, 0)
+
+    def lost_intervals(self, ino: Optional[int] = None) -> List[Tuple[int, int, int]]:
+        """Dirty ``(ino, file_block, count)`` intervals writeback dropped."""
+        if ino is not None:
+            return [(ino, fb, n) for fb, n in self._wb_lost.get(ino, [])]
+        return [
+            (i, fb, n)
+            for i in sorted(self._wb_lost)
+            for fb, n in self._wb_lost[i]
+        ]
 
     def close(self, handle: FileHandle) -> None:
         handle.ensure_open()
@@ -463,7 +513,14 @@ class NativeFileSystem(FileSystem):
         )
         self._record_data_meta(inode, records)
         if handle.flags & OpenFlags.SYNC:
-            self._fsync_inode(inode)
+            # O_SYNC promises durability before returning, so it reports
+            # writeback failures exactly like fsync does
+            try:
+                self._fsync_inode(inode)
+            except ReproError:
+                self._consume_wb_error(handle)
+                raise
+            self._check_wb_error(handle)
         self.stats.add("write")
         self.stats.add("bytes_written", len(data))
         return len(data)
@@ -504,8 +561,15 @@ class NativeFileSystem(FileSystem):
         handle.ensure_open()
         self._charge_op()
         inode = self.inodes.get(handle.ino)
-        self._fsync_inode(inode)
+        try:
+            self._fsync_inode(inode)
+        except ReproError:
+            # the failure (if writeback-related) is latched on the inode;
+            # this fd is observing it through the raised error itself
+            self._consume_wb_error(handle)
+            raise
         self.stats.add("fsync")
+        self._check_wb_error(handle)
 
     def punch_hole(self, handle: FileHandle, offset: int, length: int) -> None:
         handle.ensure_open()

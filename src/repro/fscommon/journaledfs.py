@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.devices.base import Device
-from repro.errors import NoSpace
+from repro.errors import DeviceIoError, NoSpace
 from repro.fscommon.basefs import MetaRecord, NativeFileSystem
 from repro.fscommon.inode import Inode, InodeTable
 from repro.fscommon.journal import Journal, JournalFull
@@ -30,6 +30,17 @@ from repro.fscommon.metastore import MetaStore
 from repro.fscommon.pagecache import PageCache
 from repro.sim.clock import SimClock
 from repro.vfs.stat import FileType
+
+
+def _block_runs(blocks: List[int]) -> List[Tuple[int, int]]:
+    """Compress a sorted block list into ``(start, count)`` runs."""
+    runs: List[Tuple[int, int]] = []
+    for fb in blocks:
+        if runs and fb == runs[-1][0] + runs[-1][1]:
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
+            runs.append((fb, 1))
+    return runs
 
 
 class Allocator(Protocol):
@@ -55,6 +66,16 @@ class JournaledFileSystem(NativeFileSystem):
     page_cache_fraction: float = 0.1
     #: hard cap on page-cache pages (models limited DRAM per FS)
     page_cache_max_pages: int = 16384
+    #: what happens to dirty pages when writeback hits a *persistent*
+    #: device error (transient faults keep propagating so the tier-level
+    #: retry machinery handles them): "clean" marks the pages clean and
+    #: forgets them — ext4's infamous failed-fsync behavior, the data is
+    #: silently gone and only the errseq/fsck record remains; "keep"
+    #: leaves them dirty so later fsyncs retry, bounded by
+    #: ``wb_retry_limit`` (XFS), after which they too are dropped
+    wb_failure_policy: str = "clean"
+    #: failed-writeback retries per inode under the "keep" policy
+    wb_retry_limit: int = 3
 
     def __init__(self, fs_name: str, device: Device, clock: SimClock) -> None:
         super().__init__(fs_name, device, clock)
@@ -87,6 +108,8 @@ class JournaledFileSystem(NativeFileSystem):
         self._readahead: Dict[int, Tuple[int, int]] = {}
         #: speculative blocks fetched on background time (gauge for traces)
         self.readahead_bg_blocks = 0
+        #: failed-writeback retry counts per inode (the "keep" policy bound)
+        self._wb_retries: Dict[int, int] = {}
 
     #: maximum readahead window in blocks (Linux default: 128 KiB)
     readahead_max_blocks: int = 32
@@ -139,6 +162,9 @@ class JournaledFileSystem(NativeFileSystem):
                 self._pending_data.pop(ino, None)
                 self._delalloc.pop(ino, None)
                 self._readahead.pop(ino, None)
+                self._wb_retries.pop(ino, None)
+                self._wb_errseq.pop(ino, None)
+                self._wb_lost.pop(ino, None)
                 self.page_cache.invalidate_inode(ino)
         self._commit_txn(records)
 
@@ -323,15 +349,50 @@ class JournaledFileSystem(NativeFileSystem):
         prev = inode.blockmap.lookup(file_block - 1)
         return None if prev is None else prev + 1
 
-    def _writeback_page(self, ino: int, file_block: int, data: bytes) -> None:
-        """Eviction-path writeback of one dirty page."""
+    def _writeback_page(self, ino: int, file_block: int, data: bytes) -> Optional[bool]:
+        """Eviction-path writeback of one dirty page.
+
+        Returns ``False`` when the page must stay cached (persistent write
+        failure under the keep-dirty policy); any other return lets the
+        eviction proceed.  Transient errors propagate — the caller's retry
+        machinery owns those.
+        """
         inode = self.inodes.maybe_get(ino)
         if inode is None:
-            return  # inode went away; the page is stale
+            return None  # inode went away; the page is stale
         self._allocate_for(inode, [file_block])
         dev_block = inode.blockmap.lookup(file_block)
-        self.device.write_blocks(dev_block, data)
+        try:
+            self.device.write_blocks(dev_block, data)
+        except DeviceIoError as exc:
+            if exc.transient:
+                raise
+            if self._apply_wb_failure_policy(ino, [file_block]):
+                return False  # page kept dirty; evict a different victim
+            return None  # policy dropped it; the loss is on record
         self._delalloc.get(ino, set()).discard(file_block)
+        return None
+
+    def _apply_wb_failure_policy(self, ino: int, failed_blocks: List[int]) -> bool:
+        """Dispose of dirty pages a persistent write error left behind.
+
+        Returns True when the pages were kept dirty for a bounded retry
+        (XFS), False when they were marked clean and forgotten (ext4, or
+        XFS past its retry bound) — in which case the lost intervals are
+        latched for fsck alongside the errseq bump.
+        """
+        if self.wb_failure_policy == "keep":
+            tries = self._wb_retries.get(ino, 0) + 1
+            self._wb_retries[ino] = tries
+            if tries <= self.wb_retry_limit:
+                self._note_writeback_error(ino)
+                self.stats.add("wb_kept_dirty", len(failed_blocks))
+                return True
+            self._wb_retries.pop(ino, None)
+        self.page_cache.mark_clean(ino, failed_blocks)
+        self._note_writeback_error(ino, lost=_block_runs(failed_blocks))
+        self.stats.add("wb_dropped", len(failed_blocks))
+        return False
 
     def _flush_inode_data(self, inode: Inode) -> None:
         """Write every dirty page of ``inode`` with batched device writes.
@@ -352,25 +413,41 @@ class JournaledFileSystem(NativeFileSystem):
         )
         batch_start_dev: Optional[int] = None
         batch: List[bytes] = []
+        batch_fbs: List[int] = []
         flushed: List[int] = []
 
         def emit() -> None:
             if batch:
                 self.device.write_blocks(batch_start_dev, b"".join(batch))
+                flushed.extend(batch_fbs)
                 batch.clear()
+                batch_fbs.clear()
 
         prev_dev = None
-        for dev_block, fb, data in by_dev:
-            if prev_dev is not None and dev_block == prev_dev + 1:
-                batch.append(data)
-            else:
-                emit()
-                batch_start_dev = dev_block
-                batch.append(data)
-            prev_dev = dev_block
-            flushed.append(fb)
-        emit()
+        try:
+            for dev_block, fb, data in by_dev:
+                if prev_dev is not None and dev_block == prev_dev + 1:
+                    batch.append(data)
+                else:
+                    emit()
+                    batch_start_dev = dev_block
+                    batch.append(data)
+                prev_dev = dev_block
+                batch_fbs.append(fb)
+            emit()
+        except DeviceIoError as exc:
+            # transient errors leave every page dirty and propagate, so
+            # the tier-level retry loop re-drives the whole flush exactly
+            # as before; a persistent error is final — batches that landed
+            # are clean, the rest go to the per-FS failure policy
+            if not exc.transient:
+                self.page_cache.mark_clean(inode.ino, flushed)
+                landed = set(flushed)
+                failed = [fb for fb, _ in dirty if fb not in landed]
+                self._apply_wb_failure_policy(inode.ino, failed)
+            raise
         self.page_cache.mark_clean(inode.ino, flushed)
+        self._wb_retries.pop(inode.ino, None)
 
     def _fsync_inode(self, inode: Inode) -> None:
         # ordered mode: data reaches the device before metadata commits
@@ -450,6 +527,11 @@ class JournaledFileSystem(NativeFileSystem):
         self._delalloc.clear()
         self._readahead.clear()
         self._open_handles.clear()
+        # the errseq ledger is volatile: after a crash every dirty page is
+        # gone anyway (expected crash semantics, not a writeback failure)
+        self._wb_errseq.clear()
+        self._wb_lost.clear()
+        self._wb_retries.clear()
 
     def recover(self) -> None:
         """Mount-time recovery: durable metadata + journal replay."""

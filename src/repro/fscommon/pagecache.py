@@ -22,7 +22,10 @@ from repro.sim.stats import CounterSet
 DRAM_PAGE_COPY_NS = 400
 
 PageKey = Tuple[int, int]  # (ino, file block index)
-WritebackFn = Callable[[int, int, bytes], None]  # (ino, file_block, data)
+#: (ino, file_block, data) -> keep?  A ``False`` return means the write
+#: failed under a keep-dirty policy and the page must stay cached; any
+#: other return (including None) lets the cache dispose of the page.
+WritebackFn = Callable[[int, int, bytes], Optional[bool]]
 
 
 class Page:
@@ -151,12 +154,22 @@ class PageCache:
             self._evict_to_capacity()
 
     def _evict_to_capacity(self) -> None:
-        while len(self._pages) > self.capacity_pages:
+        # bound the scan so a cache full of unevictable pages (every
+        # writeback refused under a keep-dirty policy) degrades to running
+        # over capacity instead of livelocking
+        attempts = len(self._pages)
+        while len(self._pages) > self.capacity_pages and attempts > 0:
+            attempts -= 1
             key, page = self._pages.popitem(last=False)
             self.stats.add("evict")
             if page.dirty:
                 self.stats.add("evict_dirty")
-                self._writeback(key[0], key[1], page.data)
+                if self._writeback(key[0], key[1], page.data) is False:
+                    # the FS kept the page dirty (failed write under a
+                    # keep-dirty policy): reinsert at the MRU end and try
+                    # the next victim
+                    self.stats.add("evict_kept")
+                    self._pages[key] = page
 
     # -- flushing ---------------------------------------------------------------
 
@@ -165,7 +178,8 @@ class PageCache:
         flushed = 0
         for key, page in list(self._pages.items()):
             if key[0] == ino and page.dirty:
-                self._writeback(key[0], key[1], page.data)
+                if self._writeback(key[0], key[1], page.data) is False:
+                    continue  # write refused; the page stays dirty
                 page.dirty = False
                 flushed += 1
         self.stats.add("fsync_pages", flushed)
@@ -176,7 +190,8 @@ class PageCache:
         flushed = 0
         for key, page in self._pages.items():
             if page.dirty:
-                self._writeback(key[0], key[1], page.data)
+                if self._writeback(key[0], key[1], page.data) is False:
+                    continue  # write refused; the page stays dirty
                 page.dirty = False
                 flushed += 1
         return flushed

@@ -25,7 +25,7 @@ clean), so tests can assert emptiness and operators can print reports.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.core.mux import MuxFileSystem
 from repro.errors import FileNotFound
@@ -41,9 +41,27 @@ def check_native_fs(fs: NativeFileSystem) -> List[str]:
     problems += _check_block_ownership(fs)
     problems += _check_directory_tree(fs)
     problems += _check_sizes(fs)
+    problems += _check_writeback_losses(fs)
     if isinstance(fs, JournaledFileSystem):
         problems += _check_delalloc(fs)
     return problems
+
+
+def _check_writeback_losses(fs: NativeFileSystem) -> List[str]:
+    """Report dirty intervals silently dropped by failed writeback.
+
+    The ext4-style ``clean`` policy marks pages clean on a persistent
+    writeback error, so the *next* fsync succeeds even though the bytes
+    never reached the disk; the ``keep`` policy drops them once the retry
+    budget is exhausted.  Either way the errseq ledger remembers exactly
+    which intervals vanished — fsck surfaces them so the loss is an
+    operator-visible finding, not a silent hole in the file.
+    """
+    return [
+        f"ino {ino}: writeback of blocks [{fb},+{count}) failed; "
+        f"data was never persisted (reported via errseq at fsync)"
+        for ino, fb, count in fs.lost_intervals()
+    ]
 
 
 def _allocator_views(fs: NativeFileSystem):
@@ -259,20 +277,39 @@ def _check_cache_dirty(mux: MuxFileSystem) -> List[str]:
                     problems.append(
                         f"{label}: dirty block {fb} has no resident cache slot"
                     )
+    for ino, fb, count in cache.lost_intervals():
+        problems.append(
+            f"cache: ino {ino} blocks [{fb},+{count}) absorbed but lost "
+            f"to a failed destage (data never reached the owning tier)"
+        )
     return problems
 
 
-def reconcile_cache(mux: MuxFileSystem) -> int:
+def reconcile_cache(
+    mux: MuxFileSystem, report: Optional[List[str]] = None
+) -> int:
     """Destage every dirty block that survived a crash; returns blocks handled.
 
     Dirty marks whose file no longer exists are dropped (the unlink won);
     everything else is written back to its owning tier and flushed, so the
     recovered stack starts with a clean cache.  Offline tiers keep their
     blocks dirty for a later evacuation or reattach cycle.
+
+    When ``report`` is given, intervals previously *lost* to failed
+    destages are appended to it (and acknowledged): reconcile repairs
+    what it can, but it must also tell the operator what it cannot —
+    those bytes are gone and no amount of destaging brings them back.
     """
     cache = mux.cache
     if cache is None or not cache.write_back:
         return 0
+    if report is not None:
+        for ino, fb, count in cache.lost_intervals():
+            report.append(
+                f"ino {ino}: blocks [{fb},+{count}) were lost to a failed "
+                f"destage before the crash; unrecoverable"
+            )
+        cache.clear_lost()
     reconciled = 0
     for ino in cache.dirty_files():
         try:

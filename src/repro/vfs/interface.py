@@ -43,7 +43,7 @@ class OpenFlags:
 class FileHandle:
     """An open file description returned by :meth:`FileSystem.open`."""
 
-    __slots__ = ("fs", "ino", "path", "flags", "_open", "private")
+    __slots__ = ("fs", "ino", "path", "flags", "_open", "private", "wb_err")
 
     def __init__(self, fs: "FileSystem", ino: int, path: str, flags: int) -> None:
         self.fs = fs
@@ -53,6 +53,10 @@ class FileHandle:
         self._open = True
         #: per-FS private state (e.g. Mux stores the per-tier handles here)
         self.private: Optional[object] = None
+        #: errseq_t-style sample of the inode's writeback-error sequence at
+        #: open time; fsync compares-and-advances so each fd reports a
+        #: writeback failure at most once
+        self.wb_err: int = 0
 
     @property
     def is_open(self) -> bool:

@@ -23,7 +23,8 @@ from repro.core import calibration as cal
 from repro.core.cache import ScmCacheManager
 from repro.core.intervals import BlockIntervalSet
 from repro.core.policy import MigrationOrder
-from repro.errors import TierUnavailable
+from repro.core.health import HealthState
+from repro.errors import CrashTriggered, DeviceIoError, TierUnavailable
 from repro.stack import build_stack
 from repro.tools.fsck import check_mux, reconcile_cache
 from repro.vfs.interface import OpenFlags
@@ -291,6 +292,44 @@ class TestEvictionDestage:
         assert cache.dirty_block_count == 0  # eviction completed anyway
         cache.check_invariants()
 
+    def test_failed_destage_records_lost_interval(self, nova, clock):
+        """The loss is a ledger entry and a callback, not just a counter —
+        fsck reports exactly which bytes vanished, and the mux latches
+        the inode's errseq through ``on_lost``."""
+        cache = self._cache(nova, clock)
+        latched = []
+        cache.destage_fn = lambda ino, runs: (_ for _ in ()).throw(
+            TierUnavailable("owner offline")
+        )
+        cache.on_lost = lambda ino, runs: latched.append((ino, tuple(runs)))
+        for fb in range(4):
+            cache.put(1, fb, bytes([fb]) * BS)
+        cache.write_hit(1, 2, b"S" * BS)
+        for fb in range(4, 8):
+            cache.put(2, fb, bytes([fb]) * BS)
+        assert cache.lost_intervals() == [(1, 2, 1)]
+        assert latched == [(1, ((2, 1),))]
+        cache.clear_lost(1)
+        assert cache.lost_intervals() == []
+        cache.check_invariants()
+
+    def test_crash_during_destage_is_not_a_loss(self, nova, clock):
+        """Power loss mid-destage must propagate (the explorer depends on
+        it) — absorbing it as a destage failure would mark PM-durable
+        dirty blocks clean and fake a data loss that never happened."""
+        cache = self._cache(nova, clock)
+        cache.destage_fn = lambda ino, runs: (_ for _ in ()).throw(
+            CrashTriggered("power lost")
+        )
+        for fb in range(4):
+            cache.put(1, fb, bytes([fb]) * BS)
+        cache.write_hit(1, 0, b"T" * BS)
+        with pytest.raises(CrashTriggered):
+            for fb in range(4, 8):
+                cache.put(2, fb, bytes([fb]) * BS)
+        assert cache.stats.get("destage_lost") == 0
+        assert cache.lost_intervals() == []
+
 
 class TestCrashAndReconcile:
     def test_dirty_blocks_survive_crash_and_reconcile(self, wb):
@@ -328,6 +367,24 @@ class TestCrashAndReconcile:
         stack = build_stack()
         assert reconcile_cache(stack.mux) == 0
 
+    def test_lost_ledger_survives_crash_and_is_reported(self, wb):
+        """The loss ledger lives with the cache metadata on PM, so a
+        pre-crash destage loss is still reportable after recovery —
+        fsck names the interval and reconcile acknowledges it."""
+        mux = wb.mux
+        handle = demoted_warm_file(wb)
+        mux.cache._lost.setdefault(handle.ino, []).append((3, 2))
+        mux.crash()
+        mux.recover()
+        problems = check_mux(mux, deep=False)
+        assert any("lost to a failed destage" in p for p in problems)
+        report = []
+        reconcile_cache(mux, report)
+        assert any(f"ino {handle.ino}" in line and "unrecoverable" in line
+                   for line in report)
+        assert mux.cache.lost_intervals() == []
+        assert check_mux(mux, deep=False) == []
+
 
 class TestDegradedDestage:
     def test_offline_owner_defers_destage(self, wb):
@@ -345,6 +402,45 @@ class TestDegradedDestage:
         assert mux.cache.dirty_block_count == 0
         mux.cache.invalidate_file(handle.ino)
         assert mux.read(handle, 0, BS) == b"U" * BS
+        mux.close(handle)
+
+    def test_persistent_destage_error_walks_owner_to_suspect(self, wb):
+        """A latched media error on the owner tier during fsync destage:
+        each fsync raises, the health machine walks HEALTHY -> SUSPECT
+        after 3 consecutive failures, and (the owner being XFS, policy
+        ``keep``) the dirty pages retry to durability once healed — no
+        data loss on record."""
+        mux = wb.mux
+        xfs = wb.filesystems["ssd"]
+        handle = demoted_warm_file(wb, blocks=2, to="ssd")
+        mux.write(handle, 0, b"\x70" * (2 * BS))
+        assert mux.cache.dirty_block_count == 2
+        real = type(xfs.device).write_blocks
+
+        def failing(block_no, data):
+            if block_no >= xfs._data_base:
+                raise DeviceIoError(
+                    f"latched media error at block {block_no}", transient=False
+                )
+            return real(xfs.device, block_no, data)
+
+        xfs.device.write_blocks = failing
+        tier = mux.registry.get(wb.tier_id("ssd"))
+        for _ in range(3):
+            with pytest.raises(TierUnavailable):
+                mux.fsync(handle)
+        assert tier.health.state is HealthState.SUSPECT
+        assert tier.health.consecutive_errors == 3
+        # keep-policy: the failed pages wait, dirty, at the tier FS
+        assert len(xfs.page_cache.dirty_items(handle.ino)) == 2
+        del xfs.device.write_blocks
+        mux.fsync(handle)  # the retry lands the data durably
+        assert xfs.page_cache.dirty_items(handle.ino) == []
+        assert xfs.lost_intervals() == []
+        assert mux.lost_intervals() == []
+        assert tier.health.consecutive_errors == 0
+        mux.cache.invalidate_file(handle.ino)
+        assert mux.read(handle, 0, BS) == b"\x70" * BS
         mux.close(handle)
 
 

@@ -141,3 +141,38 @@ class TestWallclockWorkload:
             assert point["async"][key] > 0
             assert point["depth1"][key] > 0
         assert result["events"]["p99_ratio_x"] >= 3.0
+
+
+class TestFairnessAcceptance:
+    """Bound the interference a tenant may suffer from sharing the stack.
+
+    ``fairness_slowdowns`` replays the same open-loop schedule twice per
+    tenant — once shared, once with the stack to itself — and the ratio of
+    the two tail latencies is the slowdown.  The acceptance bound is
+    deliberately loose (4x at the p99): it exists to catch pathological
+    starvation regressions, not to pin the exact interference level.
+    """
+
+    def test_p99_slowdown_stays_bounded(self):
+        from repro.bench.multi_tenant import fairness_slowdowns, slowdown_x
+
+        _, table = fairness_slowdowns(
+            lambda: build_stack(), _specs(), duration_ns=2 * MS
+        )
+        assert set(table) == {"a", "b"}
+        for tenant, entry in table.items():
+            assert entry["isolated_p99_ns"] > 0, tenant
+            assert entry["shared_p99_ns"] >= entry["shared_p50_ns"], tenant
+            assert 0 < slowdown_x(entry) < 4.0, (tenant, entry)
+            assert 0 < slowdown_x(entry, "p50") < 4.0, (tenant, entry)
+
+    def test_isolated_replay_is_deterministic(self):
+        from repro.bench.multi_tenant import fairness_slowdowns
+
+        _, one = fairness_slowdowns(
+            lambda: build_stack(), _specs(), duration_ns=2 * MS
+        )
+        _, two = fairness_slowdowns(
+            lambda: build_stack(), _specs(), duration_ns=2 * MS
+        )
+        assert one == two
