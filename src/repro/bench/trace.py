@@ -365,6 +365,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"retries={engine.get('retries')} backoff_ns={engine.get('backoff_ns')} "
         f"gave_up={engine.get('gave_up')}"
     )
+    mirrors = stack.mux.mirrors.stats
+    print(
+        "fairness: "
+        f"wb_deadline_destages={stack.mux.stats.get('wb_deadline_destages')} "
+        f"mirror_defer_ticks={mirrors.get('defer_ticks')} "
+        f"mirror_deadline_promotions={mirrors.get('deadline_promotions')} "
+        f"mirror_blocks_synced={mirrors.get('blocks_synced')}"
+    )
 
     sched = stack.mux.scheduler.snapshot()
     tiers = ", ".join(

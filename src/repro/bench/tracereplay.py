@@ -459,6 +459,8 @@ def replay_trace(
     maintain_every: int = 64,
     population_tier: Optional[str] = "ssd",
     root: str = "/trace",
+    warm_passes: int = 0,
+    drop_page_caches: bool = False,
 ) -> TraceReplayResult:
     """Open-loop replay of ``trace`` against ``stack``.
 
@@ -472,6 +474,19 @@ def replay_trace(
     (``maintain_async``) and the engine advances in-flight ones one
     cooperative step, so policies that migrate get to — on background
     channels, contending only when the device is genuinely busy.
+
+    ``warm_passes`` replays the trace that many times closed-loop and
+    *untimed* first — the epochs that preceded the measured window.
+    Heat builds, the policy converges on its steady-state placement and
+    every background copy drains, so the timed replay compares how each
+    policy *serves* the workload rather than how fast it reacts to a
+    population it has never seen.
+
+    ``drop_page_caches`` empties every native file system's clean DRAM
+    page cache right before the measured window (the simulated analog of
+    ``drop_caches`` between warm-up and measurement) — otherwise a warm
+    pass leaves the working set in DRAM and every policy measures the
+    same cache, hiding what *placement* bought.
     """
     mux = stack.mux
     clock = stack.clock
@@ -499,6 +514,35 @@ def replay_trace(
         mux.fsync(handle)
         handles.append(handle)
 
+    for _ in range(warm_passes):
+        for index, op in enumerate(trace.ops):
+            if maintain_every:
+                if index and index % maintain_every == 0:
+                    mux.maintain_async()
+                mux.engine.tick()
+                mux.mirrors.tick()
+            handle = handles[op.file_id]
+            if op.op == "read":
+                mux.read(handle, op.offset, op.length)
+            elif op.op == "write":
+                mux.write(handle, op.offset, bytes([_PAYLOAD_BYTE]) * op.length)
+            else:
+                mux.fsync(handle)
+    if warm_passes:
+        # settle before the measured window opens
+        mux.maintain_async()
+        mux.engine.drain()
+        mux.mirrors.drain()
+    if drop_page_caches:
+        # make every page clean first — drop_clean() models a crash and
+        # discards dirty pages too, which would lose warm-pass writes
+        for handle in handles:
+            mux.fsync(handle)
+        for fs in stack.filesystems.values():
+            cache = getattr(fs, "page_cache", None)
+            if cache is not None:
+                cache.drop_clean()
+
     result = TraceReplayResult()
     ring = mux.open_ring(depth=ring_depth)
     outstanding: Dict[int, Tuple[int, str]] = {}
@@ -525,6 +569,9 @@ def replay_trace(
             # migrations every event, otherwise a multi-chunk copy spans
             # many bursts of foreground writes and OCC-aborts on each
             mux.engine.tick()
+            # mirror convergence rides the same cadence (instant no-op
+            # for policies that never grant mirrors)
+            mux.mirrors.tick()
         handle = handles[op.file_id]
         if op.op == "read":
             sub = ring.submit_read(handle, op.offset, op.length)

@@ -21,10 +21,14 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.core.intervals import BlockIntervalSet, Run, intersect_runs, normalize_runs
 from repro.fscommon.extents import ExtentTree
 
 #: (first_block, count, tier_id or None-for-hole)
 BltRun = Tuple[int, int, Optional[int]]
+
+#: (first_block, count, authoritative_tier, clean-mirror tiers)
+ReplicaRun = Tuple[int, int, Optional[int], Tuple[int, ...]]
 
 
 class BlockLookupTable(ABC):
@@ -189,3 +193,246 @@ class ByteArrayBlt(BlockLookupTable):
 
     def memory_bytes(self) -> int:
         return len(self._table)
+
+
+# ---------------------------------------------------------------------------
+# Replica sets: one authoritative copy plus mirrors with per-interval state
+# ---------------------------------------------------------------------------
+
+
+class ReplicaSet:
+    """Per-file mirror map layered over the authoritative BLT mapping.
+
+    The BLT stays the single source of truth for *authority*: every mapped
+    block has exactly one owning tier, and writes/migrations only ever
+    update that mapping.  A ``ReplicaSet`` additionally tracks, per mirror
+    tier, which block intervals hold an in-sync (*clean*) copy of the
+    authoritative bytes and which are *stale* (the authoritative copy was
+    rewritten after the mirror was synced).  Clean intervals may serve
+    reads; stale intervals must not, and the mirror-sync engine
+    (:mod:`repro.core.mirror`) re-converges them in the background.
+
+    All state is host-side interval algebra — no simulated-clock charges —
+    and per-tier ``clean`` / ``stale`` sets are disjoint by construction.
+    """
+
+    __slots__ = ("_clean", "_stale", "_stale_since")
+
+    def __init__(self) -> None:
+        self._clean: Dict[int, BlockIntervalSet] = {}
+        self._stale: Dict[int, BlockIntervalSet] = {}
+        #: simulated ns when each tier's stale set last became non-empty;
+        #: the mirror-sync engine's deadline promotion keys off this
+        self._stale_since: Dict[int, int] = {}
+
+    # -- membership --------------------------------------------------------
+
+    def tiers(self) -> List[int]:
+        """Mirror tier ids, ascending."""
+        return sorted(self._clean)
+
+    def has_tier(self, tier_id: int) -> bool:
+        return tier_id in self._clean
+
+    def add_tier(self, tier_id: int) -> None:
+        """Register ``tier_id`` as a mirror (initially tracking nothing)."""
+        if tier_id not in self._clean:
+            self._clean[tier_id] = BlockIntervalSet()
+            self._stale[tier_id] = BlockIntervalSet()
+
+    def retire_tier(self, tier_id: int) -> List[Run]:
+        """Drop a mirror tier; returns the runs it was tracking."""
+        clean = self._clean.pop(tier_id, None)
+        stale = self._stale.pop(tier_id, None)
+        self._stale_since.pop(tier_id, None)
+        runs: List[Run] = []
+        if clean is not None:
+            runs.extend(clean.runs())
+        if stale is not None:
+            runs.extend(stale.runs())
+        return normalize_runs(runs)
+
+    # -- per-tier views ----------------------------------------------------
+
+    def clean_runs(self, tier_id: int) -> List[Run]:
+        ivals = self._clean.get(tier_id)
+        return ivals.runs() if ivals is not None else []
+
+    def stale_runs(self, tier_id: int) -> List[Run]:
+        ivals = self._stale.get(tier_id)
+        return ivals.runs() if ivals is not None else []
+
+    def tracked_runs(self, tier_id: int) -> List[Run]:
+        """Clean plus stale runs — everything the mirror tier holds bytes for."""
+        return normalize_runs(self.clean_runs(tier_id) + self.stale_runs(tier_id))
+
+    def covers_clean(self, tier_id: int, start: int, count: int) -> bool:
+        """True if the tier holds a clean copy of all of ``[start, +count)``."""
+        got = intersect_runs(self.clean_runs(tier_id), [(start, count)])
+        return sum(n for _, n in got) == count
+
+    # -- state transitions -------------------------------------------------
+
+    def mark_stale(
+        self, tier_id: int, start: int, count: int, now_ns: int
+    ) -> None:
+        """The authoritative bytes in the range changed; the tier must resync."""
+        if count <= 0 or tier_id not in self._clean:
+            return
+        self._clean[tier_id].remove_range(start, count)
+        self._stale[tier_id].add_range(start, count)
+        self._stale_since.setdefault(tier_id, now_ns)
+
+    def note_write(
+        self, start: int, count: int, dst_tier: int, now_ns: int
+    ) -> None:
+        """A write landed authoritatively on ``dst_tier``.
+
+        Every *other* mirror's overlapping intervals go stale; the
+        receiving tier stops mirroring the range entirely — a tier cannot
+        mirror blocks it now owns authoritatively.
+        """
+        for tier_id in self._clean:
+            if tier_id == dst_tier:
+                self._clean[tier_id].remove_range(start, count)
+                self._stale[tier_id].remove_range(start, count)
+            else:
+                self.mark_stale(tier_id, start, count, now_ns)
+        self._refresh_stale_since()
+
+    def mark_synced(self, tier_id: int, start: int, count: int) -> None:
+        """The mirror-sync engine made the range durable on ``tier_id``."""
+        if count <= 0 or tier_id not in self._clean:
+            return
+        self._stale[tier_id].remove_range(start, count)
+        self._clean[tier_id].add_range(start, count)
+        if not self._stale[tier_id]:
+            self._stale_since.pop(tier_id, None)
+
+    def clear_stale(self, tier_id: int, start: int, count: int) -> None:
+        """Forget stale marks without promoting to clean (hole / no source)."""
+        if tier_id in self._stale:
+            self._stale[tier_id].remove_range(start, count)
+            if not self._stale[tier_id]:
+                self._stale_since.pop(tier_id, None)
+
+    def drop_range(self, start: int, count: int) -> None:
+        """The range was unmapped (truncate / punch); nothing mirrors it."""
+        for tier_id in self._clean:
+            self._clean[tier_id].remove_range(start, count)
+            self._stale[tier_id].remove_range(start, count)
+        self._refresh_stale_since()
+
+    def on_moved(
+        self, runs: List[Run], src_tier: int, dst_tier: int
+    ) -> None:
+        """Authority moved ``src_tier`` -> ``dst_tier`` for ``runs`` (OCC commit).
+
+        The destination's mirror intervals are consumed (it is now the
+        authority there) and the source's copies are punched by the OCC
+        commit, so neither end may keep mirror state for the moved runs.
+        Mirrors on *other* tiers stay valid: data movement does not change
+        the content of the data (§2.4).
+        """
+        for start, count in runs:
+            for tier_id in (src_tier, dst_tier):
+                if tier_id in self._clean:
+                    self._clean[tier_id].remove_range(start, count)
+                    self._stale[tier_id].remove_range(start, count)
+        self._refresh_stale_since()
+
+    def mark_all_stale(self, now_ns: int) -> None:
+        """Crash path: every mirror interval must re-prove itself.
+
+        The sync-state map is DRAM metadata; after a crash a mirror may
+        hold torn or missing bytes, so recovery must never serve a mirror
+        interval as clean until the sync engine recopied it.
+        """
+        for tier_id, clean in self._clean.items():
+            for start, length in clean.runs():
+                self._stale[tier_id].add_range(start, length)
+            clean.clear()
+            if self._stale[tier_id]:
+                self._stale_since.setdefault(tier_id, now_ns)
+
+    def _refresh_stale_since(self) -> None:
+        for tier_id in list(self._stale_since):
+            stale = self._stale.get(tier_id)
+            if stale is None or not stale:
+                self._stale_since.pop(tier_id, None)
+
+    # -- queries -----------------------------------------------------------
+
+    def has_stale(self) -> bool:
+        return any(self._stale.values())
+
+    def stale_blocks(self) -> int:
+        return sum(len(s) for s in self._stale.values())
+
+    def clean_blocks(self, tier_id: Optional[int] = None) -> int:
+        if tier_id is not None:
+            ivals = self._clean.get(tier_id)
+            return len(ivals) if ivals is not None else 0
+        return sum(len(c) for c in self._clean.values())
+
+    def stale_since_ns(self, tier_id: int) -> Optional[int]:
+        """When the tier's stale set became non-empty (None if in sync)."""
+        return self._stale_since.get(tier_id)
+
+    def check_invariants(self) -> None:
+        assert set(self._clean) == set(self._stale)
+        for tier_id, clean in self._clean.items():
+            overlap = intersect_runs(clean.runs(), self._stale[tier_id].runs())
+            assert not overlap, (tier_id, overlap)
+            if self._stale[tier_id]:
+                assert tier_id in self._stale_since, tier_id
+            else:
+                assert tier_id not in self._stale_since, tier_id
+
+
+def replica_runs(
+    blt: BlockLookupTable,
+    replicas: Optional[ReplicaSet],
+    start: int,
+    count: int,
+) -> Iterator[ReplicaRun]:
+    """Decompose a range into runs annotated with their clean mirror tiers.
+
+    Each yielded ``(first_block, count, tier, mirrors)`` run has a uniform
+    replica set: ``tier`` is the authoritative owner from the BLT (None for
+    holes) and ``mirrors`` the tiers whose *clean* intervals fully cover
+    the run.  This is the read path's routing substrate: any tier in
+    ``{tier} | mirrors`` can serve the run's bytes.
+    """
+    for run_start, run_len, tier in blt.runs(start, count):
+        if tier is None or replicas is None:
+            yield run_start, run_len, tier, ()
+            continue
+        cover: List[Tuple[int, int, int]] = []  # (start, end, mirror tier)
+        cuts = {run_start, run_start + run_len}
+        for mirror in replicas.tiers():
+            if mirror == tier:
+                continue
+            for s, n in intersect_runs(
+                replicas.clean_runs(mirror), [(run_start, run_len)]
+            ):
+                cover.append((s, s + n, mirror))
+                cuts.add(s)
+                cuts.add(s + n)
+        if not cover:
+            yield run_start, run_len, tier, ()
+            continue
+        pts = sorted(cuts)
+        pending: Optional[Tuple[int, int, Tuple[int, ...]]] = None
+        for a, b in zip(pts, pts[1:]):
+            mirrors = tuple(
+                sorted(m for s, e, m in cover if s <= a and b <= e)
+            )
+            if pending is not None and pending[2] == mirrors and pending[1] == a:
+                pending = (pending[0], b, mirrors)
+            else:
+                if pending is not None:
+                    yield pending[0], pending[1] - pending[0], tier, pending[2]
+                pending = (a, b, mirrors)
+        if pending is not None:
+            yield pending[0], pending[1] - pending[0], tier, pending[2]

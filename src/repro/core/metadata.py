@@ -22,7 +22,7 @@ from repro.errors import (
     IsADirectory,
     NotADirectory,
 )
-from repro.core.blt import BlockLookupTable, ExtentBlt
+from repro.core.blt import BlockLookupTable, ExtentBlt, ReplicaSet
 from repro.core.dcache import DentryCache
 from repro.core.intervals import BlockIntervalSet
 from repro.vfs import path as vpath
@@ -105,6 +105,9 @@ class CollectiveInode:
         self.writes_since_mtime_sync = 0
         #: per-file placement pin: overrides the policy for new writes
         self.pinned_tier: Optional[int] = None
+        #: mirror replica map (None until the file earns a mirror, so the
+        #: common unmirrored case costs nothing on the hot paths)
+        self.replicas: Optional[ReplicaSet] = None
 
     @property
     def is_dir(self) -> bool:

@@ -1,0 +1,357 @@
+"""Lazy mirror-sync engine for mirror-optimized tiering (MOST).
+
+The MOST model keeps *mirrors* of hot, read-mostly files across tiers:
+reads route to the fastest tier holding a clean replica, writes absorb on
+the fastest (authoritative) copy and mark the mirrors stale, and this
+engine re-converges the stale intervals in the background — the same
+"talk to file systems" discipline as destages and migrations, driven on
+reserved background device channels and paced by the pressure gauges so
+a foreground burst defers sync instead of contending with user I/O.
+
+Fairness: deferral is bounded.  A mirror whose stale set has aged past
+:data:`MirrorEngine.MAX_STALENESS_NS` of simulated time is *deadline
+promoted* — synced despite device load — so a foreground flood can cap
+sync freshness but never starve it forever (counted in
+``deadline_promotions``).
+
+All replica bookkeeping lives in :class:`repro.core.blt.ReplicaSet`
+(host-side interval algebra); this module only moves bytes.  Files
+without mirrors never reach this engine, so the unmirrored hot paths
+keep bit-identical simulated fingerprints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.blt import ReplicaSet
+from repro.core.metadata import CollectiveInode
+from repro.errors import FileNotFound, TierUnavailable
+from repro.sim.stats import CounterSet
+
+
+class MirrorEngine:
+    """Copies stale mirror intervals back into sync, lazily."""
+
+    #: per-channel load at source or mirror above which a sync defers
+    #: (same threshold the migration engine uses for paced copies)
+    DEFER_LOAD = 1.0
+    #: default per-tick copy budget, in blocks — a tick rides on a user
+    #: op, so one tick must never book an unbounded copy into the
+    #: device's background future
+    MAX_SYNC_BLOCKS_PER_TICK = 64
+    #: staleness deadline, in simulated ns: a mirror stale for longer is
+    #: synced even into a loaded device (deadline promotion), so
+    #: foreground floods bound sync freshness instead of starving it
+    MAX_STALENESS_NS = 2_000_000
+
+    def __init__(self, mux) -> None:  # mux: MuxFileSystem (circular type)
+        self._mux = mux
+        self.stats = CounterSet()
+        #: inos that have (or recently had) mirrors; insertion-ordered so
+        #: ticks rotate through files instead of re-serving the first
+        self._mirrored: Dict[int, None] = {}
+
+    # -- membership --------------------------------------------------------
+
+    def mirrored_inos(self) -> List[int]:
+        return list(self._mirrored)
+
+    def add_mirror(self, inode: CollectiveInode, tier_id: int) -> None:
+        """Start mirroring ``inode`` onto ``tier_id``.
+
+        Every currently-mapped block not already owned by the mirror tier
+        starts *stale*: the mirror serves nothing until the sync engine
+        has copied it, so a half-built mirror can never shadow the
+        authoritative bytes.
+        """
+        self._mux.registry.get(tier_id)  # validates the tier exists
+        if inode.replicas is None:
+            inode.replicas = ReplicaSet()
+        if inode.replicas.has_tier(tier_id):
+            return
+        inode.replicas.add_tier(tier_id)
+        now_ns = self._mux.clock.now_ns
+        end = inode.blt.end_block()
+        for start, count, tid in inode.blt.runs(0, end) if end else ():
+            if tid is not None and tid != tier_id:
+                inode.replicas.mark_stale(tier_id, start, count, now_ns)
+        self._mirrored[inode.ino] = None
+        self.stats.add("mirrors_added")
+
+    def drop_mirror(
+        self, inode: CollectiveInode, tier_id: int, punch: bool = True
+    ) -> None:
+        """Stop mirroring ``inode`` on ``tier_id`` and reclaim its blocks."""
+        if inode.replicas is None or not inode.replicas.has_tier(tier_id):
+            return
+        runs = inode.replicas.retire_tier(tier_id)
+        if punch and runs and tier_id in inode.tiers_present:
+            for start, count in runs:
+                # only mirror copies are reclaimed; blocks the tier owns
+                # authoritatively (it absorbed a write there) must survive
+                owned = [
+                    (s, n)
+                    for s, n, tid in inode.blt.runs(start, count)
+                    if tid == tier_id
+                ]
+                for s, n in _subtract(start, count, owned):
+                    try:
+                        self._mux.tier_punch(inode, tier_id, s, n)
+                    except TierUnavailable:
+                        break  # unreachable tier: fsck reclaims later
+        if not inode.replicas.tiers():
+            inode.replicas = None
+            self._mirrored.pop(inode.ino, None)
+        self.stats.add("mirrors_dropped")
+
+    def note_stale(self, ino: int) -> None:
+        """A write dirtied a mirrored file; make sure ticks revisit it."""
+        self._mirrored[ino] = None
+
+    def forget(self, ino: int) -> None:
+        self._mirrored.pop(ino, None)
+
+    def drop_tier(self, tier_id: int, punch: bool = True) -> None:
+        """A tier is leaving (evacuate/remove): retire all its mirrors."""
+        for ino in list(self._mirrored):
+            try:
+                inode = self._mux.inode_by_ino(ino)
+            except FileNotFound:
+                self._mirrored.pop(ino, None)
+                continue
+            self.drop_mirror(inode, tier_id, punch=punch)
+
+    # -- sync --------------------------------------------------------------
+
+    def stale_backlog(self) -> int:
+        """Blocks awaiting sync across every mirrored file."""
+        total = 0
+        for ino in self._mirrored:
+            try:
+                inode = self._mux.inode_by_ino(ino)
+            except FileNotFound:
+                continue
+            if inode.replicas is not None:
+                total += inode.replicas.stale_blocks()
+        return total
+
+    def tick(self, max_blocks: Optional[int] = None) -> int:
+        """Advance mirror convergence by one bounded, paced step.
+
+        Called like ``MigrationEngine.tick`` from maintenance paths:
+        copies at most ``max_blocks`` (default
+        :data:`MAX_SYNC_BLOCKS_PER_TICK`) stale blocks, skipping tiers
+        whose channels are loaded — unless a mirror has been stale past
+        the deadline, which promotes it over the load gate.  Returns
+        blocks synced; zero-cost when nothing is mirrored.
+        """
+        if not self._mirrored:
+            return 0
+        budget = max_blocks if max_blocks is not None else self.MAX_SYNC_BLOCKS_PER_TICK
+        synced = 0
+        for ino in list(self._mirrored):
+            if budget <= 0:
+                break
+            try:
+                inode = self._mux.inode_by_ino(ino)
+            except FileNotFound:
+                self._mirrored.pop(ino, None)
+                continue
+            replicas = inode.replicas
+            if replicas is None:
+                self._mirrored.pop(ino, None)
+                continue
+            if not replicas.has_stale():
+                continue
+            if inode.migration_active or inode.locked:
+                continue  # OCC owns the file's placement right now
+            moved = self._sync_inode(inode, replicas, budget, paced=True)
+            if moved:
+                # rotate: the file we just serviced goes to the back so
+                # the next tick reaches the others first
+                self._mirrored.pop(ino, None)
+                self._mirrored[ino] = None
+            budget -= moved
+            synced += moved
+        return synced
+
+    def sync_file(self, inode: CollectiveInode) -> int:
+        """Converge one file completely, ignoring pacing (tests/benchmarks)."""
+        if inode.replicas is None:
+            return 0
+        total = 0
+        while inode.replicas is not None and inode.replicas.has_stale():
+            moved = self._sync_inode(
+                inode, inode.replicas, budget=1 << 30, paced=False
+            )
+            if moved == 0:
+                break  # every remaining stale tier is unreachable
+            total += moved
+        return total
+
+    def drain(self) -> int:
+        """Converge every mirrored file (benchmark epilogues)."""
+        total = 0
+        for ino in list(self._mirrored):
+            try:
+                inode = self._mux.inode_by_ino(ino)
+            except FileNotFound:
+                self._mirrored.pop(ino, None)
+                continue
+            if inode.migration_active or inode.locked:
+                continue
+            total += self.sync_file(inode)
+        return total
+
+    # -- internals ---------------------------------------------------------
+
+    def _sync_inode(
+        self,
+        inode: CollectiveInode,
+        replicas: ReplicaSet,
+        budget: int,
+        paced: bool,
+    ) -> int:
+        mux = self._mux
+        now_ns = mux.clock.global_now_ns
+        synced = 0
+        for tier_id in replicas.tiers():
+            if budget - synced <= 0:
+                break
+            stale = replicas.stale_runs(tier_id)
+            if not stale:
+                continue
+            tier = mux.registry.get(tier_id)
+            if tier.health.is_offline:
+                self.stats.add("sync_skipped_offline")
+                continue
+            if paced and self._deferred(inode, tier_id, stale, now_ns):
+                continue
+            synced += self._sync_tier(
+                inode, replicas, tier_id, stale, budget - synced
+            )
+        return synced
+
+    def _deferred(
+        self,
+        inode: CollectiveInode,
+        tier_id: int,
+        stale: List[Tuple[int, int]],
+        now_ns: int,
+    ) -> bool:
+        """Pressure gate with a staleness deadline (dispatcher fairness)."""
+        since = inode.replicas.stale_since_ns(tier_id)
+        if since is not None and now_ns - since >= self.MAX_STALENESS_NS:
+            self.stats.add("deadline_promotions")
+            return False
+        monitor = self._mux.pressure
+        load = monitor.instant_load_of(tier_id, now_ns)
+        for start, count in stale:
+            for _, _, src in inode.blt.runs(start, count):
+                if src is not None and src != tier_id:
+                    load = max(load, monitor.instant_load_of(src, now_ns))
+        if load >= self.DEFER_LOAD:
+            self.stats.add("defer_ticks")
+            return True
+        return False
+
+    def _sync_tier(
+        self,
+        inode: CollectiveInode,
+        replicas: ReplicaSet,
+        tier_id: int,
+        stale: List[Tuple[int, int]],
+        budget: int,
+    ) -> int:
+        """Copy up to ``budget`` stale blocks onto one mirror tier.
+
+        Runs on background clock frames like destages: the copies land on
+        the devices' reserved background channels, so foreground ops only
+        pay when they contend for the same device.  An interval is marked
+        clean only *after* the mirror tier's fsync returned — a mirror
+        interval must never claim cleanliness its media can't back.
+        """
+        mux = self._mux
+        bs = mux.block_size
+        mux.clock.push_frame(background=True)
+        try:
+            # absorbed writes first: the authoritative media must hold the
+            # bytes the copy loop reads
+            if mux.cache is not None and mux.cache.write_back:
+                dirty: List[Tuple[int, int]] = []
+                for start, count in stale:
+                    dirty.extend(mux.cache.dirty_runs_in(inode.ino, start, count))
+                if dirty:
+                    mux._destage_blocks(inode, dirty, durable=True)
+            copied: List[Tuple[int, int]] = []
+            blocks = 0
+            failed = False
+            for start, count in stale:
+                if blocks >= budget or failed:
+                    break
+                for run_start, run_len, src in inode.blt.runs(start, count):
+                    if blocks >= budget or failed:
+                        break
+                    run_len = min(run_len, budget - blocks)
+                    if src is None or src == tier_id:
+                        # a hole mirrors itself; an authoritative owner
+                        # cannot also be its own mirror
+                        replicas.clear_stale(tier_id, run_start, run_len)
+                        continue
+                    want = min(run_len * bs, inode.size - run_start * bs)
+                    if want <= 0:
+                        replicas.clear_stale(tier_id, run_start, run_len)
+                        continue
+                    try:
+                        data = mux.tier_read_raw(
+                            inode, src, run_start * bs, want
+                        )
+                        self._media_write(inode, tier_id, run_start * bs, data)
+                    except TierUnavailable:
+                        # source or mirror died mid-copy: stay stale, a
+                        # later tick retries once health recovers
+                        self.stats.add("sync_skipped_offline")
+                        failed = True
+                        break
+                    copied.append((run_start, run_len))
+                    blocks += run_len
+            if copied:
+                try:
+                    mux.tier_fsync(inode, tier_id)
+                except TierUnavailable:
+                    self.stats.add("sync_skipped_offline")
+                    return 0  # nothing durable: every interval stays stale
+                for run_start, run_len in copied:
+                    replicas.mark_synced(tier_id, run_start, run_len)
+                self.stats.add("syncs")
+                self.stats.add("blocks_synced", blocks)
+            return blocks
+        finally:
+            # discard the frame cursor: the batch drains on the device
+            # timelines while the foreground proceeds
+            mux.clock.pop_frame()
+
+    def _media_write(
+        self, inode: CollectiveInode, tier_id: int, offset: int, data: bytes
+    ) -> None:
+        """One mirror-sync media write (crash-explorer sync-point label)."""
+        self._mux.tier_write_raw(inode, tier_id, offset, data)
+
+
+def _subtract(
+    start: int, count: int, holes: List[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """``[start, +count)`` minus ``holes`` (sorted disjoint runs)."""
+    out: List[Tuple[int, int]] = []
+    pos = start
+    end = start + count
+    for h_start, h_len in sorted(holes):
+        if h_start > pos:
+            out.append((pos, min(h_start, end) - pos))
+        pos = max(pos, h_start + h_len)
+        if pos >= end:
+            break
+    if pos < end:
+        out.append((pos, end - pos))
+    return out

@@ -28,13 +28,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import calibration as cal
-from repro.core.blt import BlockLookupTable, ExtentBlt
+from repro.core.blt import BlockLookupTable, ExtentBlt, replica_runs
 from repro.core.cache import ScmCacheManager
 from repro.core.health import HealthState
+from repro.core.intervals import intersect_runs
 from repro.core.metadata import CollectiveInode, MuxNamespace
 from repro.core.migration import MigrationEngine
+from repro.core.mirror import MirrorEngine
 from repro.core.policy import (
     MigrationOrder,
+    MirrorOrder,
     FileView,
     PlacementRequest,
     Policy,
@@ -179,6 +182,9 @@ class MuxFileSystem(FileSystem):
         self.pressure = PressureMonitor()
         self.ns = MuxNamespace(clock.now())
         self.engine = MigrationEngine(self)
+        #: lazy mirror-sync engine (MOST); idle until a policy or caller
+        #: grants a file a mirror, so unmirrored runs cost nothing
+        self.mirrors = MirrorEngine(self)
         self.cache: Optional[ScmCacheManager] = None
         #: rank of the tier hosting the SCM cache (0 = fastest); kept in
         #: sync by _refresh_cache_and_meta / remove_tier so _cacheable
@@ -290,6 +296,9 @@ class MuxFileSystem(FileSystem):
         refuges = [t for t in self.registry.ordered() if t.tier_id != tier_id]
         if not refuges:
             raise InvalidArgument("cannot remove the last tier")
+        # mirror copies never migrate — the tier is leaving, so they are
+        # simply retired (no punch: the whole backing store departs)
+        self.mirrors.drop_tier(tier_id, punch=False)
         for inode in list(self.ns.files()):
             blocks = inode.blt.blocks_on(tier_id)
             if blocks == 0:
@@ -559,6 +568,11 @@ class MuxFileSystem(FileSystem):
             inode.blt.map_range(start, count, dst_tier)
             if self.cache is not None:
                 self.cache.invalidate_range(inode.ino, start, count)
+        if inode.replicas is not None:
+            # the destination consumed its mirror (it now owns the bytes)
+            # and the source's copies are punched below; mirrors elsewhere
+            # stay valid — moving data does not change the data
+            inode.replicas.on_moved(runs, src_tier, dst_tier)
         if self._meta is not None:
             self._meta.note(2)
 
@@ -706,6 +720,7 @@ class MuxFileSystem(FileSystem):
         if self.cache is not None:
             self.cache.invalidate_file(inode.ino)
         self.policy.forget(inode.ino)
+        self.mirrors.forget(inode.ino)
         self._wb_errseq.pop(inode.ino, None)
         self._wb_lost.pop(inode.ino, None)
         self.ns.unlink(path, self.clock.now())
@@ -730,6 +745,7 @@ class MuxFileSystem(FileSystem):
             if self.cache is not None:
                 self.cache.invalidate_file(replaced_ino)
             self.policy.forget(replaced_ino)
+            self.mirrors.forget(replaced_ino)
         self._rename_backing(moving, new_path)
         if self._meta is not None:
             self._meta.note(2)
@@ -820,6 +836,12 @@ class MuxFileSystem(FileSystem):
         self.clock.advance_ns(
             inode.blt.lookup_cost_ns(len(runs), last_fb - first_fb + 1)
         )
+        if inode.replicas is not None:
+            # MOST routing: each span serves from the fastest tier holding
+            # a clean replica; an unhealthy authoritative owner fails over
+            # to a clean mirror instead of EIO.  Pure interval algebra —
+            # unmirrored files never enter this branch.
+            runs = self._route_replicas(inode, first_fb, last_fb - first_fb + 1)
 
         # build per-tier sub-requests (FS Multiplexer)
         subrequests: List[SubRequest] = []
@@ -897,6 +919,51 @@ class MuxFileSystem(FileSystem):
         self.stats.add("bytes_read", length)
         self._record_latency("read", op_started_ns)
         return bytes(out)
+
+    def _route_replicas(
+        self, inode: CollectiveInode, first_fb: int, count: int
+    ) -> List[Tuple[int, int, Optional[int]]]:
+        """Re-home each read span on the fastest tier with a clean replica.
+
+        Candidate order is (health class, rank): a HEALTHY mirror beats a
+        SUSPECT authoritative owner of any rank, and among equals the
+        faster tier wins, with ties going to the authoritative copy.
+        Adjacent spans routed to the same tier re-coalesce so mirroring
+        never inflates the sub-request count for uniform placement.
+        """
+
+        def route_key(tier_id: int) -> Tuple[int, int]:
+            tier = self.registry.get(tier_id)
+            if tier.health.is_offline:
+                hclass = 2
+            elif tier.health.state is HealthState.SUSPECT:
+                hclass = 1
+            else:
+                hclass = 0
+            return (hclass, tier.rank)
+
+        routed: List[Tuple[int, int, Optional[int]]] = []
+        for start, n, tid, mirrors in replica_runs(
+            inode.blt, inode.replicas, first_fb, count
+        ):
+            chosen = tid
+            if tid is not None and mirrors:
+                live = [m for m in mirrors if self.registry.maybe_get(m)]
+                if live:
+                    chosen = min([tid] + live, key=route_key)
+                    if chosen != tid:
+                        self.stats.add("reads_from_mirror")
+                        if route_key(tid)[0] > 0:
+                            self.stats.add("reads_degraded_mirror")
+            if (
+                routed
+                and routed[-1][2] == chosen
+                and routed[-1][0] + routed[-1][1] == start
+            ):
+                routed[-1] = (routed[-1][0], routed[-1][1] + n, chosen)
+            else:
+                routed.append((start, n, chosen))
+        return routed
 
     def _read_span(
         self, inode: CollectiveInode, tier: Tier, req: SubRequest, out: bytearray
@@ -1239,6 +1306,11 @@ class MuxFileSystem(FileSystem):
             self._next_writeback_ns = now + cal.CACHE_WRITEBACK_INTERVAL_NS
         threshold = cal.CACHE_WRITEBACK_MAX_DIRTY_FRAC * cache.capacity_blocks
         if dirty >= threshold or now >= self._next_writeback_ns:
+            if dirty < threshold:
+                # the time deadline fired before the dirty budget did:
+                # bounded staleness beat a foreground flood to the destage
+                # (dispatcher-fairness counterpart of deadline promotion)
+                self.stats.add("wb_deadline_destages")
             # the batch drains on background device channels; the user op
             # that tripped the budget is not stalled behind it
             self._destage_all(durable=True, background=self.scheduler.parallel)
@@ -1275,6 +1347,13 @@ class MuxFileSystem(FileSystem):
         # in place on PM and destage later in coalesced batches
         absorb_tier = self._absorb_write(inode, offset, data)
         if absorb_tier is not None:
+            if inode.replicas is not None:
+                # the write absorbs on the fastest copy; every mirror of
+                # the touched range is stale until the sync engine recopies
+                inode.replicas.note_write(
+                    first_fb, nblocks, absorb_tier, self.clock.now_ns
+                )
+                self.mirrors.note_stale(inode.ino)
             self.policy.on_access(
                 inode.ino,
                 first_fb,
@@ -1361,6 +1440,10 @@ class MuxFileSystem(FileSystem):
         # all charge-free, so the fingerprint matches the fused loop)
         for tier_id, seg_first, seg_count in placed:
             inode.blt.map_range(seg_first, seg_count, tier_id)
+            if inode.replicas is not None:
+                inode.replicas.note_write(
+                    seg_first, seg_count, tier_id, self.clock.now_ns
+                )
             if inode.migration_active:
                 inode.dirty_during_migration.add_range(seg_first, seg_count)
             if self.cache is not None:
@@ -1374,6 +1457,8 @@ class MuxFileSystem(FileSystem):
                 self.clock.now(),
             )
 
+        if inode.replicas is not None:
+            self.mirrors.note_stale(inode.ino)
         # collective inode + affinity updates (§2.3)
         now = self.clock.now()
         if extended:
@@ -1539,6 +1624,11 @@ class MuxFileSystem(FileSystem):
             if self.cache is not None:
                 self.cache.invalidate_range(inode.ino, new_end, old_end - new_end)
             inode.blt.unmap_range(new_end, old_end - new_end)
+            if inode.replicas is not None:
+                # the per-tier truncations above already cut every backing
+                # file (mirror tiers are in tiers_present); only the
+                # interval bookkeeping remains
+                inode.replicas.drop_range(new_end, old_end - new_end)
         now = self.clock.now()
         inode.size = size
         inode.mtime = inode.ctime = now
@@ -1569,6 +1659,19 @@ class MuxFileSystem(FileSystem):
             )
             if self.cache is not None:
                 self.cache.invalidate_range(inode.ino, run_start, run_len)
+        if inode.replicas is not None:
+            # mirror copies are invisible to the BLT loop above: punch
+            # them explicitly so the replica blocks are reclaimed too
+            for tier_id in inode.replicas.tiers():
+                for s, n in intersect_runs(
+                    inode.replicas.tracked_runs(tier_id), [(first_fb, count)]
+                ):
+                    try:
+                        self.tier_punch(inode, tier_id, s, n)
+                    except TierUnavailable:
+                        self.stats.add("mirror_punch_skipped_offline")
+                        break
+            inode.replicas.drop_range(first_fb, count)
         inode.blt.unmap_range(first_fb, count)
         if self._meta is not None:
             self._meta.note(1)
@@ -1744,7 +1847,10 @@ class MuxFileSystem(FileSystem):
         """
         executed = 0
         for _ in range(max_rounds):
-            orders = self.policy.plan_migrations(self.tier_states(), self.file_views())
+            states = self.tier_states()
+            views = self.file_views()
+            orders = self.policy.plan_migrations(states, views)
+            self._maintain_mirrors(states, views)
             if not orders:
                 break
             for order in orders:
@@ -1760,7 +1866,9 @@ class MuxFileSystem(FileSystem):
 
     def maintain_async(self) -> int:
         """Plan migrations and submit them as cooperative background tasks."""
-        orders = self.policy.plan_migrations(self.tier_states(), self.file_views())
+        states = self.tier_states()
+        views = self.file_views()
+        orders = self.policy.plan_migrations(states, views)
         submitted = 0
         for order in orders:
             try:
@@ -1775,7 +1883,39 @@ class MuxFileSystem(FileSystem):
                     ),
                 )
                 submitted += 1
+        self._maintain_mirrors(states, views)
         return submitted
+
+    def _maintain_mirrors(
+        self, states: List[TierState], views: List[FileView]
+    ) -> int:
+        """Apply the policy's mirror plan and advance sync convergence.
+
+        Both halves are no-ops for mirror-blind policies (``plan_mirrors``
+        defaults to []) and idle engines, so pre-MOST workloads keep
+        bit-identical fingerprints.  Returns blocks synced this step.
+        """
+        orders = self.policy.plan_mirrors(states, views)
+        if orders:
+            self.apply_mirror_orders(orders)
+        return self.mirrors.tick()
+
+    def apply_mirror_orders(self, orders: List[MirrorOrder]) -> int:
+        """Grant/retire mirrors per the policy's orders; returns applied."""
+        applied = 0
+        for order in orders:
+            try:
+                inode = self.ns.get(order.ino)
+            except FileNotFound:
+                continue  # file vanished since planning
+            if self.registry.maybe_get(order.tier_id) is None:
+                continue
+            if order.action == "drop":
+                self.mirrors.drop_mirror(inode, order.tier_id)
+            else:
+                self.mirrors.add_mirror(inode, order.tier_id)
+            applied += 1
+        return applied
 
     def evacuate(self, tier_id: int) -> Dict[str, int]:
         """Drain every block off a suspect tier onto healthy tiers.
@@ -1790,6 +1930,9 @@ class MuxFileSystem(FileSystem):
         src = self.registry.get(tier_id)
         if src.health.is_offline:
             src.health.mark_suspect()
+        # mirrors on the draining tier are redundant copies: retire them
+        # (reclaiming their blocks) before moving the authoritative data
+        self.mirrors.drop_tier(tier_id, punch=True)
         summary = {
             "files_drained": 0,
             "files_failed": 0,
@@ -1934,6 +2077,12 @@ class MuxFileSystem(FileSystem):
             inode.tier_handles.clear()
             inode.migration_active = False
             inode.dirty_during_migration.clear()
+            if inode.replicas is not None:
+                # the sync-state map is DRAM metadata: after a crash every
+                # mirror interval must re-prove itself before recovery may
+                # serve it, so nothing stale is ever read as authoritative
+                inode.replicas.mark_all_stale(self.clock.now_ns)
+                self.mirrors.note_stale(inode.ino)
         # the errseq ledger is DRAM state: pending error reports die with
         # the kernel (the losses themselves persist in the cache's ledger)
         self._wb_errseq.clear()
@@ -1975,4 +2124,13 @@ class MuxFileSystem(FileSystem):
                 for start, count, tid in list(inode.blt.runs(0, end)):
                     if tid == tier_id:
                         inode.blt.unmap_range(start, count)
+                if inode.replicas is not None and inode.replicas.has_tier(
+                    tier_id
+                ):
+                    # the mirror's backing file died with the crash: its
+                    # sync state must not outlive the bytes
+                    inode.replicas.retire_tier(tier_id)
+                    if not inode.replicas.tiers():
+                        inode.replicas = None
+                        self.mirrors.forget(inode.ino)
                 self.stats.add("recover_pruned_tier_refs")

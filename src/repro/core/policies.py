@@ -29,6 +29,7 @@ from repro.core.health import HealthState
 from repro.core.policy import (
     FileView,
     MigrationOrder,
+    MirrorOrder,
     PlacementRequest,
     Policy,
     TierState,
@@ -605,6 +606,150 @@ class HotColdPressurePolicy(PressureRouter, HotColdPolicy):
             if dst is not None and (
                 self._avoiding.get(dst.tier_id) or tier_load(dst) >= self.spill_load
             ):
+                self.deferred_orders += 1
+                continue
+            kept.append(order)
+        return kept
+
+
+@register_policy("mirror")
+class MirrorPolicy(PressureAwarePolicy):
+    """Mirror-optimized tiering (MOST): replicate hot read-mostly files.
+
+    Placement and demotion follow :class:`PressureAwarePolicy`; on top,
+    :meth:`plan_mirrors` grants the hottest read-heavy small files a
+    mirror on the fastest healthy tier, so their reads serve at PM/SSD
+    speed even while the authoritative copy stays (or demotes) downhill.
+    Mirrors are reclaimed when the file cools, when the mirror tier needs
+    the capacity back (``reclaim_util``), or when the tier goes OFFLINE.
+
+    Promotion orders *into* a file's mirror tier are suppressed — the
+    mirror already serves reads there, so moving authority up as well
+    would just burn copy bandwidth and fast-tier capacity twice.
+    """
+
+    def __init__(
+        self,
+        mirror_heat: float = 3.0,
+        mirror_read_fraction: float = 0.6,
+        max_file_bytes: int = 4 * 1024 * 1024,
+        mirror_budget_fraction: float = 0.5,
+        reclaim_util: float = 0.85,
+        mirrors_per_plan: int = 4,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.mirror_heat = mirror_heat
+        self.mirror_read_fraction = mirror_read_fraction
+        self.max_file_bytes = max_file_bytes
+        self.mirror_budget_fraction = mirror_budget_fraction
+        self.reclaim_util = reclaim_util
+        self.mirrors_per_plan = mirrors_per_plan
+        #: per-file read/write op counts, decayed alongside the heat map
+        self._reads: Dict[int, float] = {}
+        self._writes: Dict[int, float] = {}
+        #: ino -> tier currently holding this file's mirror
+        self._mirrored_on: Dict[int, int] = {}
+
+    def on_access(
+        self, ino: int, block_start: int, count: int, tier_id: int, kind: str, now: float
+    ) -> None:
+        super().on_access(ino, block_start, count, tier_id, kind, now)
+        if kind == "read":
+            self._reads[ino] = self._reads.get(ino, 0.0) + 1.0
+        else:
+            self._writes[ino] = self._writes.get(ino, 0.0) + 1.0
+
+    def forget(self, ino: int) -> None:
+        super().forget(ino)
+        self._reads.pop(ino, None)
+        self._writes.pop(ino, None)
+        self._mirrored_on.pop(ino, None)
+
+    def _read_fraction(self, ino: int) -> float:
+        reads = self._reads.get(ino, 0.0)
+        writes = self._writes.get(ino, 0.0)
+        total = reads + writes
+        return reads / total if total else 0.0
+
+    def plan_mirrors(
+        self, tiers: List[TierState], files: Iterable[FileView]
+    ) -> List[MirrorOrder]:
+        views = list(files)
+        by_id = {t.tier_id: t for t in tiers}
+        heats = {v.ino: self._heat.get(v.ino, 0.0) for v in views}
+        for table in (self._reads, self._writes):
+            for ino in list(table):
+                table[ino] *= self.decay
+                if table[ino] < 0.05:
+                    del table[ino]
+        orders: List[MirrorOrder] = []
+
+        # reclaim first: capacity freed this round funds the adds below
+        for ino, tier_id in list(self._mirrored_on.items()):
+            tier = by_id.get(tier_id)
+            if tier is None or tier.health is HealthState.OFFLINE:
+                orders.append(MirrorOrder(ino, tier_id, "drop", "tier-gone"))
+                del self._mirrored_on[ino]
+            elif heats.get(ino, self._heat.get(ino, 0.0)) <= self.cold_threshold:
+                orders.append(MirrorOrder(ino, tier_id, "drop", "cooled"))
+                del self._mirrored_on[ino]
+        # space pressure on the mirror tier: shed the coldest mirrors
+        for tier_id in set(self._mirrored_on.values()):
+            tier = by_id.get(tier_id)
+            if tier is None or tier.utilization < self.reclaim_util:
+                continue
+            victims = sorted(
+                (ino for ino, t in self._mirrored_on.items() if t == tier_id),
+                key=lambda ino: (heats.get(ino, 0.0), ino),
+            )
+            for ino in victims[: self.mirrors_per_plan]:
+                orders.append(MirrorOrder(ino, tier_id, "drop", "reclaim"))
+                del self._mirrored_on[ino]
+
+        fastest = next(
+            (
+                t
+                for t in sorted(tiers, key=lambda t: t.rank)
+                if t.health is HealthState.HEALTHY
+            ),
+            None,
+        )
+        if fastest is None:
+            return orders
+        budget = int(fastest.free_bytes * self.mirror_budget_fraction)
+        candidates = [
+            v
+            for v in views
+            if v.ino not in self._mirrored_on
+            and 0 < v.size <= self.max_file_bytes
+            and heats.get(v.ino, 0.0) >= self.mirror_heat
+            and self._read_fraction(v.ino) >= self.mirror_read_fraction
+        ]
+        candidates.sort(key=lambda v: (-heats.get(v.ino, 0.0), v.ino))
+        added = 0
+        for view in candidates:
+            if added >= self.mirrors_per_plan or budget < view.size:
+                break
+            mapped = sum(view.blocks_by_tier.values())
+            on_fastest = view.blocks_by_tier.get(fastest.tier_id, 0)
+            if mapped == 0 or on_fastest * 2 >= mapped:
+                continue  # already (mostly) living on the fast tier
+            orders.append(
+                MirrorOrder(view.ino, fastest.tier_id, "add", "hot-read-mostly")
+            )
+            self._mirrored_on[view.ino] = fastest.tier_id
+            budget -= view.size
+            added += 1
+        return orders
+
+    def plan_migrations(
+        self, tiers: List[TierState], files: Iterable[FileView]
+    ) -> List[MigrationOrder]:
+        orders = super().plan_migrations(tiers, files)
+        kept: List[MigrationOrder] = []
+        for order in orders:
+            if self._mirrored_on.get(order.ino) == order.dst_tier:
                 self.deferred_orders += 1
                 continue
             kept.append(order)

@@ -72,6 +72,21 @@ class MigrationOrder:
     reason: str = ""
 
 
+@dataclass(frozen=True)
+class MirrorOrder:
+    """A policy's instruction to add or drop a file's mirror on a tier.
+
+    ``action`` is ``"add"`` (start mirroring; the sync engine copies the
+    file's blocks onto ``tier_id`` lazily) or ``"drop"`` (retire the
+    mirror and reclaim its blocks — the authoritative copy is untouched).
+    """
+
+    ino: int
+    tier_id: int
+    action: str = "add"
+    reason: str = ""
+
+
 @dataclass
 class FileView:
     """Read-only per-file view for migration planning."""
@@ -114,6 +129,14 @@ class Policy(ABC):
         self, tiers: List[TierState], files: Iterable[FileView]
     ) -> List[MigrationOrder]:
         """Return migrations to run now; default: none."""
+        return []
+
+    def plan_mirrors(
+        self, tiers: List[TierState], files: Iterable[FileView]
+    ) -> List[MirrorOrder]:
+        """Return mirror add/drop orders; default: no mirrors (exclusive
+        placement, the pre-MOST behaviour — every block on exactly one
+        tier)."""
         return []
 
     def forget(self, ino: int) -> None:

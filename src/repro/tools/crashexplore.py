@@ -17,8 +17,13 @@ then recovers and checks the whole stack:
 
 Each media write is labeled with the highest-level sync point that issued
 it — journal commit, checkpoint, destage batch, BLT commit/migration
-two-phase step — so the report says not just *where* the stack survives
-power loss but *during what*.
+two-phase step, mirror-sync copy — so the report says not just *where*
+the stack survives power loss but *during what*.
+
+The mirror extension additionally asserts that recovery never leaves a
+mirror interval *clean*: a crash invalidates every replica (they are
+re-synced lazily), so a recovered stack can never serve a stale mirror
+as if it were the authoritative copy.
 
 Run via ``python -m repro.bench crashexplore [--smoke]`` or
 ``python -m repro.tools.crashexplore``.  ``--smoke`` explores a strided
@@ -336,6 +341,7 @@ class CrashExplorer:
         # sync-point labels (instance-level wrappers; census + replay see
         # the same call structure, so indices line up run to run)
         self._wrap_label(mux, "_destage_blocks", "destage")
+        self._wrap_label(mux.mirrors, "_media_write", "mirror_sync")
         self._wrap_label(mux, "blt_commit_move", "blt_commit")
         self._wrap_label_gen(mux.engine.occ, "_copy_runs", "migration_copy")
         self._wrap_label(mux.engine.occ, "_commit", "migration_commit")
@@ -381,6 +387,18 @@ class CrashExplorer:
         oracle.fsync(a, "/a"); ck()
         oracle.write(b, "/b", 1 * BS, b"E" * BS); ck()
         oracle.fsync(b, "/b"); ck()
+
+        # mirror the HDD-resident /a onto SSD and PM: the sync engine's
+        # copies are their own labeled sync points ("mirror_sync"), with
+        # torn variants on the SSD's multi-block writes; the second sync
+        # covers the stale-interval re-convergence path
+        ia = mux.ns.resolve("/a")
+        mux.mirrors.add_mirror(ia, ssd); ck()
+        mux.mirrors.add_mirror(ia, pm); ck()
+        mux.mirrors.sync_file(ia); ck()
+        oracle.write(a, "/a", 3 * BS, b"G" * BS); ck()
+        oracle.fsync(a, "/a"); ck()
+        mux.mirrors.sync_file(ia); ck()
 
         # an un-fsynced file plus its unlink: crashes inside the unlink
         # window exercise the mount-time orphan reconciliation
@@ -450,6 +468,16 @@ class CrashExplorer:
         except ReproError as exc:
             result.problems.append(f"recovery: {exc!r}")
             return
+        # a crash invalidates every mirror: no replica interval may come
+        # back clean, or a stale mirror could be read as authoritative
+        for inode in mux.ns.files():
+            if inode.replicas is not None and inode.replicas.clean_blocks():
+                result.problems.append(
+                    f"mirror: ino {inode.ino} recovered with "
+                    f"{inode.replicas.clean_blocks()} clean replica "
+                    f"block(s) — stale mirror could shadow the "
+                    f"authoritative copy"
+                )
         for name, fs in stack.filesystems.items():
             for p in fsck.check_native_fs(fs):
                 result.problems.append(f"fsck[{name}]: {p}")

@@ -223,6 +223,7 @@ def check_mux(mux: MuxFileSystem, deep: bool = True) -> List[str]:
                 f"{label}: BLT maps past EOF (end_block {end}, size {inode.size})"
             )
         problems += _check_tier_health(mux, inode, label)
+        problems += _check_replicas(mux, inode, label)
         if deep:
             problems += _check_backing_blocks(mux, inode, label)
     problems += _check_cache_dirty(mux)
@@ -351,6 +352,61 @@ def _check_tier_health(mux: MuxFileSystem, inode, label: str) -> List[str]:
                 f"{label}: {attr} affinitive to offline tier {tier.name} "
                 f"(getattr serves stale cached value)"
             )
+    return problems
+
+
+def _check_replicas(mux: MuxFileSystem, inode, label: str) -> List[str]:
+    """Replica-divergence audit (MOST).
+
+    A mirror's sync state is a *claim* about another tier's bytes; fsck
+    cross-checks every claim against the BLT, which stays the single
+    source of authority.  Flags: mirror state on an unregistered tier,
+    clean∩stale overlap (an interval cannot be both), clean intervals
+    over holes or past EOF (claiming bytes nothing authoritatively owns),
+    and a tier claiming to mirror blocks it actually owns — a replica set
+    degenerating into double-counted authority.
+    """
+    replicas = inode.replicas
+    if replicas is None:
+        return []
+    problems: List[str] = []
+    tier_ids = set(mux.tier_ids())
+    try:
+        replicas.check_invariants()
+    except AssertionError as exc:
+        problems.append(f"{label}: replica invariant violated: {exc}")
+    end = inode.blt.end_block()
+    for tier_id in replicas.tiers():
+        if tier_id not in tier_ids:
+            problems.append(
+                f"{label}: mirror state references unknown tier {tier_id}"
+            )
+            continue
+        stale = replicas.stale_runs(tier_id)
+        for start, count in replicas.clean_runs(tier_id):
+            if any(s < start + count and start < s + n for s, n in stale):
+                problems.append(
+                    f"{label}: mirror on tier {tier_id} marks "
+                    f"[{start},+{count}) both clean and stale"
+                )
+        for start, count in replicas.clean_runs(tier_id):
+            if start + count > end:
+                problems.append(
+                    f"{label}: mirror on tier {tier_id} claims clean blocks "
+                    f"[{start},+{count}) beyond the mapped range (end {end})"
+                )
+                continue
+            for run_start, run_len, owner in inode.blt.runs(start, count):
+                if owner is None:
+                    problems.append(
+                        f"{label}: mirror on tier {tier_id} claims clean "
+                        f"blocks [{run_start},+{run_len}) over a hole"
+                    )
+                elif owner == tier_id:
+                    problems.append(
+                        f"{label}: tier {tier_id} claims to mirror blocks "
+                        f"[{run_start},+{run_len}) it owns authoritatively"
+                    )
     return problems
 
 
