@@ -316,6 +316,75 @@ def _record_mixed(
     return stack, recorder.trace, migrations
 
 
+def _cluster_report(ops: int, seed: int) -> int:
+    """``trace --cluster``: per-shard queue/backlog/ops + rebalance counters."""
+    from repro.bench.multi_tenant import TenantSpec
+    from repro.cluster.bench import run_cluster_load
+    from repro.cluster.cluster import build_cluster
+
+    cluster = build_cluster(shards=2).mux
+    specs = [
+        TenantSpec(
+            name=f"t{i}",
+            mean_interarrival_ns=30_000,
+            files=4,
+            file_bytes=256 * 1024,
+            read_fraction=0.7,
+        )
+        for i in range(4)
+    ]
+    duration = max(1_000_000, ops * 30_000)
+    result, makespan_ns = run_cluster_load(
+        cluster, specs, duration_ns=duration, ring_depth=8, seed=seed
+    )
+    print(
+        f"cluster: shards={len(cluster.shards)} "
+        f"ops={result.completed_ops} makespan={makespan_ns / 1e9:.6f} sim-s"
+    )
+    for row in cluster.shard_report():
+        print(
+            f"  shard s{row['shard']}: ops={row['ops']} queued={row['queued']} "
+            f"backlog={row['backlog']} load={row['load']} "
+            f"wire_rpcs={row['wire_rpcs']} wire_bytes={row['wire_bytes']}"
+        )
+    moved = cluster.rebalance(max_moves=2, imbalance=1.0)
+    counters = cluster.rebalance_counters()
+    fields = " ".join(f"{k}={v}" for k, v in counters.items())
+    print(f"rebalance: moves={moved['moves']} {fields}")
+    return 0
+
+
+def _drr_report(seed: int) -> int:
+    """``trace --drr``: deficit round-robin per-stream counters."""
+    from repro.core.qos import IoClass
+    from repro.sim.rng import DeterministicRng
+    from repro.stack import build_stack
+
+    stack = build_stack()
+    qos = stack.mux.enable_qos()
+    qos.enable_fair_share(quantum_bytes=64 * 1024, rate_bytes_per_sec=1e9)
+    qos.register(IoClass("batch"))
+    qos.register(IoClass("latency", quota_bytes_per_sec=64 * 1024 * 1024))
+    handles = {}
+    for name in ("batch", "latency"):
+        handle = stack.mux.create(f"/{name}")
+        qos.tag(handle, name)
+        handles[name] = handle
+    rng = DeterministicRng(seed)
+    big, small = b"\xa5" * (256 * 1024), b"\x5a" * 8192
+    for i in range(32):
+        stack.mux.write(handles["batch"], i * len(big), big)
+        if rng.random() < 0.5:
+            stack.mux.write(handles["latency"], i * len(small), small)
+    for handle in handles.values():
+        stack.mux.close(handle)
+    print("drr streams:")
+    for name, counters in qos.drr_snapshot().items():
+        fields = " ".join(f"{k}={v}" for k, v in counters.items())
+        print(f"  {name}: {fields}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     import sys
 
@@ -332,6 +401,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     seed = 2025
     if "--seed" in argv:
         seed = int(argv[argv.index("--seed") + 1])
+    if "--cluster" in argv:
+        return _cluster_report(ops, seed)
+    if "--drr" in argv:
+        return _drr_report(seed)
 
     stack, trace, migrations = _record_mixed(
         ops, seed, faulty, write_back, readahead_bg

@@ -956,6 +956,175 @@ def _wl_crash_matrix(smoke: bool) -> Dict[str, object]:
     }
 
 
+def _cluster_fingerprint(cluster) -> Dict[str, object]:
+    """Simulated fingerprint of a whole cluster: per-shard devices with
+    ``s<N>.`` prefixes plus summed cache counters, same shape as
+    :func:`_mux_fingerprint` so ``compare_fingerprints`` needs no changes."""
+    devices: Dict[str, object] = {}
+    hit = miss = 0
+    for shard in cluster.shards:
+        for name, dev in sorted(shard.stack.devices.items()):
+            devices[f"s{shard.shard_id}.{name}"] = dev.stats.snapshot()
+        if shard.mux.cache is not None:
+            hit += shard.mux.cache.stats.get("hit")
+            miss += shard.mux.cache.stats.get("miss")
+    return {
+        "now_ns": cluster.clock.now_ns,
+        "devices": devices,
+        "cache": {"hit": hit, "miss": miss},
+    }
+
+
+def _cluster_specs(names: List[str], load: float = 1.0) -> List[TenantSpec]:
+    """Durability-bound tenants: the shape that makes one Mux the
+    bottleneck and therefore makes sharding pay.  Every write burst
+    fsyncs (the database/logger pattern), so its cost is an HDD journal
+    commit no page cache can absorb; reads interleave on the same
+    channels and inherit the queueing delay."""
+    return [
+        TenantSpec(
+            name=name,
+            mean_interarrival_ns=round(25_000 / load),
+            files=4,
+            file_bytes=128 * KIB,
+            io_bytes=4 * KIB,
+            read_fraction=0.5,
+            zipf_alpha=1.1,
+            fsync_bursts=True,
+        )
+        for name in names
+    ]
+
+
+def _wl_cluster_scaleout(smoke: bool) -> Dict[str, object]:
+    """Sharded ClusterMux scaling + hotspot-rebalance recovery.
+
+    Phase 1 replays one open-loop HDD-bound schedule (cache off,
+    population pinned to the hdd tier) against 1-, 2- and 4-shard
+    clusters on one SimClock; aggregate throughput is completed ops over
+    simulated makespan, so the scaling ratio measures how well the
+    shards' device timelines actually overlap.  Phase 2 deliberately
+    hashes every tenant subtree onto one shard of a 4-shard cluster,
+    measures the hot read p99, lets the pressure-gauge rebalancer shed
+    subtrees (OCC migration over the wire), and replays the same
+    schedule — the recovered p99 is the rebalance payoff.  The
+    fingerprint pins every phase's devices, makespans and tails.
+    """
+    from repro.cluster.bench import (
+        balanced_tenant_names,
+        colocated_tenant_names,
+        run_cluster_load,
+    )
+    from repro.cluster.cluster import build_cluster
+
+    duration_ns = 300_000 if smoke else 800_000
+    tenant_count = 8 if smoke else 12
+    shard_counts = [1, 4] if smoke else [1, 2, 4]
+
+    def make_cluster(n: int):
+        # single-tier HDD shards: with PM in the stack the mux's
+        # two-phase writes re-place every hot span onto PM and the disk
+        # goes idle — the right behaviour for tiering, the wrong rig for
+        # measuring scale-out.  One seek-bound tier per shard makes the
+        # shard itself the bottleneck, which is what sharding must fix.
+        return build_cluster(shards=n, tiers=["hdd"], enable_cache=False)
+
+    wall = 0.0
+    ops = 0
+    bytes_moved = 0
+    sim_elapsed_ns = 0
+    fingerprint: Dict[str, object] = {}
+    table: Dict[str, object] = {}
+    scaling_fp: Dict[str, object] = {}
+    throughput: Dict[int, float] = {}
+
+    # names that spread evenly over the *largest* cluster's ring (all
+    # cluster sizes replay the same tenants, so offered load is constant)
+    probe_ring = make_cluster(shard_counts[-1]).mux.ring
+    names = balanced_tenant_names(probe_ring, "tenants", tenant_count)
+    specs = _cluster_specs(names)
+    for n in shard_counts:
+        cluster = make_cluster(n).mux
+        hdd = cluster.shards[0].stack.tier_ids["hdd"]
+        sim0 = cluster.clock.now_ns
+        t0 = time.perf_counter()
+        res, makespan_ns = run_cluster_load(
+            cluster, specs, duration_ns=duration_ns, ring_depth=8,
+            population_tier=hdd,
+        )
+        wall += time.perf_counter() - t0
+        ops += res.completed_ops
+        bytes_moved += sum(
+            t.ops * spec.io_bytes for spec, t in zip(specs, res.tenants.values())
+        )
+        throughput[n] = res.completed_ops * 1e9 / makespan_ns
+        reads = res.percentiles_ns("read")
+        table[f"shards_{n}"] = {
+            "kops_per_sim_s": round(throughput[n] / 1e3, 1),
+            "read_p99_us": round(reads["p99"] / 1e3, 1),
+        }
+        scaling_fp[f"shards_{n}"] = {
+            "makespan_ns": makespan_ns,
+            "completed": res.completed_ops,
+            **{f"read_{k}": v for k, v in reads.items()},
+        }
+        if n == shard_counts[-1]:
+            sim_elapsed_ns += cluster.clock.now_ns - sim0
+            fingerprint = _cluster_fingerprint(cluster)
+    scaling_x = throughput[shard_counts[-1]] / throughput[1]
+
+    # -- phase 2: hotspot + rebalance -----------------------------------
+    cluster = make_cluster(4).mux
+    hdd = cluster.shards[0].stack.tier_ids["hdd"]
+    hot_names, hot_shard = colocated_tenant_names(
+        cluster.ring, "tenants", tenant_count
+    )
+    hot_specs = _cluster_specs(hot_names)
+    sim0 = cluster.clock.now_ns
+    t0 = time.perf_counter()
+    hot_res, hot_span = run_cluster_load(
+        cluster, hot_specs, duration_ns=duration_ns, ring_depth=8,
+        population_tier=hdd,
+    )
+    moved = cluster.rebalance(max_moves=tenant_count - 2)
+    cold_res, cold_span = run_cluster_load(
+        cluster, hot_specs, duration_ns=duration_ns, ring_depth=8,
+        population_tier=hdd,
+    )
+    wall += time.perf_counter() - t0
+    sim_elapsed_ns += cluster.clock.now_ns - sim0
+    ops += hot_res.completed_ops + cold_res.completed_ops
+    hot_p99 = hot_res.percentiles_ns("read")["p99"]
+    cold_p99 = cold_res.percentiles_ns("read")["p99"]
+    fingerprint["scaling"] = scaling_fp
+    fingerprint["hotspot"] = {
+        "hot_shard": hot_shard,
+        "hot_makespan_ns": hot_span,
+        "hot_read_p99": hot_p99,
+        "rebalanced_makespan_ns": cold_span,
+        "rebalanced_read_p99": cold_p99,
+        "subtrees_moved": moved["moves"],
+        "files_moved": moved["files_moved"],
+        "bytes_moved": moved["bytes_moved"],
+        "final_now_ns": cluster.clock.now_ns,
+    }
+    return {
+        "wall_s": wall,
+        "ops": ops,
+        "bytes": bytes_moved + moved["bytes_moved"],
+        "sim_elapsed_s": sim_elapsed_ns / 1e9,
+        "events": {
+            "scaling_x": round(scaling_x, 2),
+            "sweep": table,
+            "hot_read_p99_us": round(hot_p99 / 1e3, 1),
+            "rebalanced_read_p99_us": round(cold_p99 / 1e3, 1),
+            "p99_recovery_x": round(hot_p99 / cold_p99, 2) if cold_p99 else 0.0,
+            "subtrees_moved": moved["moves"],
+        },
+        "fingerprint": fingerprint,
+    }
+
+
 WORKLOADS: List[Tuple[str, Callable[[bool], Dict[str, object]]]] = [
     ("seq_write", _wl_seq_write),
     ("seq_read", _wl_seq_read),
@@ -975,6 +1144,7 @@ WORKLOADS: List[Tuple[str, Callable[[bool], Dict[str, object]]]] = [
     ("crash_matrix", _wl_crash_matrix),
     ("mirror_skew", _wl_mirror_skew),
     ("mirror_trace_duel", _wl_mirror_trace_duel),
+    ("cluster_scaleout", _wl_cluster_scaleout),
 ]
 
 

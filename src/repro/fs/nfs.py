@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.devices.profile import DeviceKind, DeviceProfile
+from repro.errors import DeviceIoError, DeviceOffline, TierUnavailable
 from repro.sim.clock import SimClock
 from repro.sim.stats import CounterSet
 from repro.vfs.interface import FileHandle, FileSystem, OpenFlags
@@ -65,6 +66,40 @@ class NetworkFileSystem(FileSystem):
         self.stats.add("rpcs")
         self.stats.add("bytes_on_wire", payload_bytes)
 
+    def _remote_call(self, fn, *args, **kwargs):
+        """Run a remote operation, translating remote health failures.
+
+        Mux's ``_tier_io`` drives a tier's HEALTHY→SUSPECT→OFFLINE
+        machine exclusively from :class:`DeviceIoError` /
+        :class:`DeviceOffline`; a remote shard whose own tiers are
+        degraded raises :class:`TierUnavailable` (EIO) instead, which
+        would leak to the local caller as a raw error the local health
+        machine never sees.  Translating those into local
+        ``DeviceIoError``\\ s makes a sick *remote* mount indistinguishable
+        from a sick *local* device — the local tier goes SUSPECT, gets
+        retried with backoff, and is routed around, exactly like any
+        other tier.  Namespace errors (ENOENT, EEXIST, ...) pass through
+        untranslated: those are answers, not failures.
+        """
+        try:
+            return fn(*args, **kwargs)
+        except DeviceOffline as exc:
+            self.stats.add("remote_offline")
+            raise DeviceOffline(f"{self.fs_name}: remote offline: {exc}") from exc
+        except TierUnavailable as exc:
+            # the remote stack exhausted its own retries; locally this is
+            # one failed RPC, worth re-probing after backoff
+            self.stats.add("remote_errors")
+            raise DeviceIoError(
+                f"{self.fs_name}: remote tier unavailable: {exc}", transient=True
+            ) from exc
+        except DeviceIoError as exc:
+            self.stats.add("remote_errors")
+            raise DeviceIoError(
+                f"{self.fs_name}: remote I/O error: {exc}",
+                transient=exc.transient,
+            ) from exc
+
     # -- handle translation -----------------------------------------------------
 
     def _remote_handle(self, handle: FileHandle) -> FileHandle:
@@ -83,71 +118,71 @@ class NetworkFileSystem(FileSystem):
 
     def create(self, path: str, mode: int = 0o644) -> FileHandle:
         self._rpc()
-        return self._wrap(self.remote.create(path, mode), path, OpenFlags.RDWR)
+        return self._wrap(self._remote_call(self.remote.create, path, mode), path, OpenFlags.RDWR)
 
     def open(self, path: str, flags: int = OpenFlags.RDWR) -> FileHandle:
         self._rpc()
-        return self._wrap(self.remote.open(path, flags), path, flags)
+        return self._wrap(self._remote_call(self.remote.open, path, flags), path, flags)
 
     def close(self, handle: FileHandle) -> None:
         inner = self._remote_handle(handle)
         handle.mark_closed()
         self._rpc()
-        self.remote.close(inner)
+        self._remote_call(self.remote.close, inner)
 
     def unlink(self, path: str) -> None:
         self._rpc()
-        self.remote.unlink(path)
+        self._remote_call(self.remote.unlink, path)
 
     def rename(self, old_path: str, new_path: str) -> None:
         self._rpc()
-        self.remote.rename(old_path, new_path)
+        self._remote_call(self.remote.rename, old_path, new_path)
 
     def mkdir(self, path: str, mode: int = 0o755) -> None:
         self._rpc()
-        self.remote.mkdir(path, mode)
+        self._remote_call(self.remote.mkdir, path, mode)
 
     def rmdir(self, path: str) -> None:
         self._rpc()
-        self.remote.rmdir(path)
+        self._remote_call(self.remote.rmdir, path)
 
     def readdir(self, path: str) -> List[str]:
-        names = self.remote.readdir(path)
+        names = self._remote_call(self.remote.readdir, path)
         self._rpc(payload_bytes=sum(len(n) for n in names))
         return names
 
     # -- data -------------------------------------------------------------------
 
     def read(self, handle: FileHandle, offset: int, length: int) -> bytes:
-        data = self.remote.read(self._remote_handle(handle), offset, length)
+        data = self._remote_call(self.remote.read, self._remote_handle(handle), offset, length)
         self._rpc(payload_bytes=len(data))
         return data
 
     def write(self, handle: FileHandle, offset: int, data: bytes) -> int:
         self._rpc(payload_bytes=len(data))
-        return self.remote.write(self._remote_handle(handle), offset, data)
+        return self._remote_call(self.remote.write, self._remote_handle(handle), offset, data)
 
     def truncate(self, handle: FileHandle, size: int) -> None:
         self._rpc()
-        self.remote.truncate(self._remote_handle(handle), size)
+        self._remote_call(self.remote.truncate, self._remote_handle(handle), size)
 
     def fsync(self, handle: FileHandle) -> None:
         self._rpc()
-        self.remote.fsync(self._remote_handle(handle))
+        self._remote_call(self.remote.fsync, self._remote_handle(handle))
 
     def punch_hole(self, handle: FileHandle, offset: int, length: int) -> None:
         self._rpc()
-        self.remote.punch_hole(self._remote_handle(handle), offset, length)
+        self._remote_call(self.remote.punch_hole, self._remote_handle(handle), offset, length)
 
     # -- metadata ----------------------------------------------------------------
 
     def getattr(self, path: str) -> Stat:
         self._rpc(payload_bytes=128)
-        return self.remote.getattr(path)
+        return self._remote_call(self.remote.getattr, path)
 
     def setattr(self, path: str, **attrs: object) -> Stat:
         self._rpc(payload_bytes=128)
-        return self.remote.setattr(path, **attrs)
+        return self._remote_call(self.remote.setattr, path, **attrs)
 
     def statfs(self) -> FsStats:
         # cached on real clients; modeled as free
@@ -155,7 +190,7 @@ class NetworkFileSystem(FileSystem):
 
     def sync(self) -> None:
         self._rpc()
-        self.remote.sync()
+        self._remote_call(self.remote.sync)
 
     def crash(self) -> None:
         self.remote.crash()

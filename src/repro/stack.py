@@ -197,3 +197,16 @@ def build_stack(
         tier_ids=tier_ids,
         injectors=injectors,
     )
+
+
+def build_cluster(shards: int = 2, **kwargs):
+    """Assemble ``shards`` full stacks on one SimClock behind a ClusterMux.
+
+    Convenience re-export of :func:`repro.cluster.cluster.build_cluster`
+    (imported lazily — the cluster package imports this module for
+    :func:`build_stack`); cluster-level knobs (``vnodes``, ``rtt_us``,
+    ``bandwidth``) and per-shard ``build_stack`` knobs all pass through.
+    """
+    from repro.cluster.cluster import build_cluster as _build
+
+    return _build(shards=shards, **kwargs)

@@ -1,0 +1,194 @@
+"""Deficit round-robin fairness between foreground streams (§4, QoS).
+
+DRR (Shreedhar & Varghese) divides the shared dispatch capacity evenly
+among the streams actually competing at each instant — unlike the token
+buckets already in :mod:`repro.core.qos`, which cap each class in
+isolation.  These tests pin down the unit arbiter (deficit math, idle
+amnesty, round pacing) and the QoS integration (opt-in invariance,
+composition with quotas, trace counters).
+"""
+
+import math
+
+import pytest
+
+from repro.core.qos import IoClass, QosManager
+from repro.core.scheduler import DeficitRoundRobin
+from repro.errors import InvalidArgument
+from repro.sim.clock import SimClock
+from repro.stack import build_stack
+
+KIB = 1024
+MIB = 1024 * KIB
+QUANTUM = 64 * KIB
+RATE = 1e9  # 1 GB/s shared dispatch
+
+
+class TestDrrArbiter:
+    def test_lone_stream_rides_free(self):
+        drr = DeficitRoundRobin(QUANTUM, RATE)
+        now = 0
+        for _ in range(32):
+            # ops within one quantum never wait when nobody competes
+            assert drr.account("solo", QUANTUM, now) == 0
+            now += 1000
+        snap = drr.snapshot()["solo"]
+        assert snap["rounds_waited"] == 0
+        assert snap["defer_ns"] == 0
+        assert snap["bytes"] == 32 * QUANTUM
+
+    def test_oversized_op_waits_whole_rounds(self):
+        drr = DeficitRoundRobin(QUANTUM, RATE)
+        # 5 quanta of work with 1 quantum of credit → 4 extra rounds,
+        # each round = active * quantum / rate (one active stream)
+        delay = drr.account("big", 5 * QUANTUM, 0)
+        round_ns = QUANTUM * 1e9 / RATE
+        assert delay == round(4 * round_ns)
+        snap = drr.snapshot()["big"]
+        assert snap["rounds_waited"] == 4
+        assert snap["deficit"] == 0  # 4 quanta granted, 5 spent, 1 held
+
+    def test_two_busy_streams_split_evenly(self):
+        drr = DeficitRoundRobin(QUANTUM, RATE)
+        now = 0
+        for _ in range(16):
+            # both submit before either drains: genuinely concurrent
+            drr.account("a", 2 * QUANTUM, now)
+            drr.account("b", 2 * QUANTUM, now)
+            now += 1  # far less than the deferrals just charged
+        snap = drr.snapshot()
+        assert snap["a"]["rounds_waited"] == snap["b"]["rounds_waited"] > 0
+        assert snap["a"]["defer_ns"] > 0
+        # symmetric offered load → symmetric treatment, to the nanosecond
+        assert abs(snap["a"]["defer_ns"] - snap["b"]["defer_ns"]) <= snap[
+            "a"
+        ]["rounds_waited"] * QUANTUM  # slack: b sees a busy, a started solo
+
+    def test_competition_slows_the_round(self):
+        # the SAME oversized op pays more when a competitor keeps the
+        # dispatcher busy: round_ns scales with active streams
+        drr = DeficitRoundRobin(QUANTUM, RATE)
+        alone = drr.account("x", 3 * QUANTUM, 0)
+
+        drr2 = DeficitRoundRobin(QUANTUM, RATE)
+        drr2.account("busy", 100 * QUANTUM, 0)  # long-running competitor
+        contended = drr2.account("x", 3 * QUANTUM, 0)
+        assert contended > alone
+
+    def test_idle_stream_gets_fresh_quantum(self):
+        drr = DeficitRoundRobin(QUANTUM, RATE)
+        delay = drr.account("bursty", 3 * QUANTUM, 0)
+        assert delay > 0
+        # wait until the queued work drains, then a small op is free:
+        # classic DRR zeroes the deficit on empty rather than banking it
+        later = delay + 1
+        assert drr.account("bursty", KIB, later) == 0
+
+    def test_implicit_registration_and_snapshot_shape(self):
+        drr = DeficitRoundRobin(QUANTUM, RATE)
+        drr.account("zeta", KIB, 0)
+        drr.account("alpha", KIB, 0)
+        snap = drr.snapshot()
+        assert list(snap) == ["alpha", "zeta"]  # sorted, deterministic
+        assert set(snap["alpha"]) == {
+            "deficit", "bytes", "ops", "rounds_waited", "defer_ns",
+        }
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(InvalidArgument):
+            DeficitRoundRobin(0, RATE)
+        with pytest.raises(InvalidArgument):
+            DeficitRoundRobin(QUANTUM, 0.0)
+
+
+class TestQosIntegration:
+    def _manager(self):
+        clock = SimClock()
+        qos = QosManager(clock)
+        qos.register(IoClass("batch"))
+        qos.register(IoClass("latency"))
+        return clock, qos
+
+    def _tagged(self, stack, qos, path, class_name):
+        handle = stack.mux.create(path)
+        qos.tag(handle, class_name)
+        return handle
+
+    def test_off_by_default_charge_unchanged(self):
+        clock, qos = self._manager()
+        handle_like = type("H", (), {"private": {"qos_class": "batch"}})()
+        before = clock.now_ns
+        assert qos.charge(handle_like, 10 * MIB) == 0
+        assert clock.now_ns == before
+        assert qos.drr_snapshot() == {}
+
+    def test_enable_fair_share_charges_the_clock(self):
+        clock, qos = self._manager()
+        qos.enable_fair_share(QUANTUM, RATE)
+        batch = type("H", (), {"private": {"qos_class": "batch"}})()
+        latency = type("H", (), {"private": {"qos_class": "latency"}})()
+        # saturate batch, then a latency op must be deferred but bounded
+        delay_b = qos.charge(batch, 8 * QUANTUM)
+        assert delay_b > 0
+        assert clock.now_ns == delay_b
+        delay_l = qos.charge(latency, 2 * QUANTUM)
+        assert delay_l > 0
+        snap = qos.drr_snapshot()
+        assert snap["batch"]["defer_ns"] == delay_b
+        assert snap["latency"]["defer_ns"] == delay_l
+        assert qos.stats.get("drr_defer_ns.batch") == delay_b
+        assert qos.stats.get("drr_defer_ns.latency") == delay_l
+
+    def test_composes_with_token_bucket(self):
+        clock = SimClock()
+        qos = QosManager(clock)
+        qos.register(IoClass("capped", quota_bytes_per_sec=1 * MIB))
+        qos.enable_fair_share(QUANTUM, RATE)
+        handle = type("H", (), {"private": {"qos_class": "capped"}})()
+        # burst = 1 MiB; the second MiB overdraws the bucket AND spills
+        # past the DRR quantum — both delays are charged, additively
+        qos.charge(handle, 1 * MIB)
+        throttled_0 = qos.stats.get("throttle_ns.capped")
+        deferred_0 = qos.stats.get("drr_defer_ns.capped")
+        delay = qos.charge(handle, 1 * MIB)
+        throttled = qos.stats.get("throttle_ns.capped") - throttled_0
+        deferred = qos.stats.get("drr_defer_ns.capped") - deferred_0
+        assert throttled > 0 and deferred > 0
+        assert delay == throttled + deferred
+
+    def test_fair_share_through_a_full_stack(self):
+        """End-to-end: two tagged streams through build_stack's mux; the
+        DRR snapshot that bench trace prints reflects both."""
+        stack = build_stack(
+            capacities={"pm": 8 * MIB, "ssd": 16 * MIB, "hdd": 64 * MIB},
+            enable_cache=False,
+        )
+        qos = stack.mux.enable_qos()
+        qos.register(IoClass("batch"))
+        qos.register(IoClass("latency"))
+        qos.enable_fair_share(QUANTUM, RATE)
+        batch = self._tagged(stack, qos, "/b", "batch")
+        latency = self._tagged(stack, qos, "/l", "latency")
+        for i in range(8):
+            stack.mux.write(batch, i * 256 * KIB, bytes(256 * KIB))
+            stack.mux.write(latency, i * 8 * KIB, bytes(8 * KIB))
+        snap = qos.drr_snapshot()
+        assert snap["batch"]["bytes"] == 8 * 256 * KIB
+        assert snap["latency"]["bytes"] == 8 * 8 * KIB
+        # the heavy stream absorbs the deferral; the light one stays
+        # within its per-round quantum and is never penalized for the
+        # batch stream's appetite
+        assert snap["batch"]["rounds_waited"] > 0
+        assert snap["latency"]["rounds_waited"] == 0
+        stack.mux.close(batch)
+        stack.mux.close(latency)
+
+    def test_determinism(self):
+        def run():
+            drr = DeficitRoundRobin(QUANTUM, RATE)
+            now = 0
+            for i in range(64):
+                now += drr.account(f"s{i % 3}", (i % 7 + 1) * 16 * KIB, now)
+            return drr.snapshot()
+
+        assert run() == run()

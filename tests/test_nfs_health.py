@@ -1,0 +1,197 @@
+"""Remote health propagation through :class:`NetworkFileSystem`.
+
+The hardening contract (ISSUE 10, satellite 2): a remote shard whose own
+tiers are degraded must surface in the *local* Mux as a sick tier — the
+wire translates remote :class:`TierUnavailable`/:class:`DeviceIoError`
+into local :class:`DeviceIoError` so the local HEALTHY→SUSPECT→OFFLINE
+machine sees them, instead of leaking raw EIO past it.  Namespace errors
+(ENOENT and friends) are answers, not failures, and pass through
+untranslated.
+"""
+
+import pytest
+
+from repro.core.health import HEALTH_SUSPECT_ERRORS, HealthState
+from repro.core.policy import MigrationOrder
+from repro.errors import (
+    DeviceIoError,
+    DeviceOffline,
+    FileNotFound,
+    TierUnavailable,
+)
+from repro.fs.nfs import NetworkFileSystem, network_profile
+from repro.stack import build_stack
+
+MIB = 1024 * 1024
+BS = 4096
+
+
+@pytest.fixture
+def federation():
+    """Local 2-tier Mux with a remote machine's Mux as its capacity tier."""
+    local = build_stack(
+        tiers=["pm", "ssd"],
+        capacities={"pm": 16 * MIB, "ssd": 32 * MIB},
+        enable_cache=False,
+    )
+    remote = build_stack(
+        tiers=["pm", "hdd"],
+        capacities={"pm": 16 * MIB, "hdd": 128 * MIB},
+        enable_cache=False,
+        clock=local.clock,
+    )
+    wire = NetworkFileSystem("wire", remote.mux, local.clock, rtt_us=250.0)
+    local.vfs.mount("/tiers/remote-mux", wire)
+    tier = local.mux.add_tier(
+        "remote-mux", wire, "/tiers/remote-mux", network_profile(250.0, 1.25e9)
+    )
+    local.tier_ids["remote-mux"] = tier.tier_id
+    return local, remote, wire
+
+
+def _sicken_remote(remote) -> None:
+    """Fail every tier inside the remote machine: all its I/O now ends
+    in TierUnavailable after its own retries."""
+    for tier_id in remote.tier_ids.values():
+        remote.mux.mark_tier_offline(tier_id)
+
+
+def _place_on_remote(local, payload: bytes):
+    """Write a file locally and migrate its blocks onto the wire tier."""
+    mux = local.mux
+    handle = mux.create("/doc")
+    mux.write(handle, 0, payload)
+    mux.fsync(handle)
+    blocks = (len(payload) + BS - 1) // BS
+    mux.engine.migrate_now(
+        MigrationOrder(
+            handle.ino, 0, blocks,
+            local.tier_id("pm"), local.tier_id("remote-mux"),
+        )
+    )
+    return handle
+
+
+class TestRemoteCallTranslation:
+    """Unit-level: the wire's error translation layer."""
+
+    def test_tier_unavailable_becomes_transient_device_error(self, federation):
+        local, remote, wire = federation
+
+        def remote_op():
+            raise TierUnavailable("remote pm is offline")
+
+        with pytest.raises(DeviceIoError) as excinfo:
+            wire._remote_call(remote_op)
+        assert excinfo.value.transient is True
+        assert "remote tier unavailable" in str(excinfo.value)
+        assert wire.stats.get("remote_errors") == 1
+
+    def test_device_error_is_retagged_preserving_transience(self, federation):
+        local, remote, wire = federation
+        for transient in (True, False):
+            def remote_op():
+                raise DeviceIoError("remote scribble", transient=transient)
+
+            with pytest.raises(DeviceIoError) as excinfo:
+                wire._remote_call(remote_op)
+            assert excinfo.value.transient is transient
+            assert "wire" in str(excinfo.value)
+        assert wire.stats.get("remote_errors") == 2
+
+    def test_device_offline_stays_offline(self, federation):
+        local, remote, wire = federation
+
+        def remote_op():
+            raise DeviceOffline("remote drive dropped")
+
+        with pytest.raises(DeviceOffline):
+            wire._remote_call(remote_op)
+        assert wire.stats.get("remote_offline") == 1
+
+    def test_namespace_errors_pass_through(self, federation):
+        local, remote, wire = federation
+        with pytest.raises(FileNotFound):
+            wire.getattr("/no/such/file")
+        assert wire.stats.get("remote_errors") == 0
+
+
+class TestHealthPropagation:
+    """End-to-end: a sick remote shard shows up in the local machine."""
+
+    def test_sick_remote_goes_suspect_locally(self, federation):
+        local, remote, wire = federation
+        payload = b"R" * (8 * BS)
+        handle = _place_on_remote(local, payload)
+        _sicken_remote(remote)
+
+        # the local read lands on the wire tier; the remote failure is
+        # retried with backoff and surfaces as EIO, not a raw leak
+        with pytest.raises(TierUnavailable):
+            local.mux.read(handle, 0, BS)
+
+        wire_tier = local.mux.registry.get(local.tier_id("remote-mux"))
+        assert wire_tier.health.state is HealthState.SUSPECT
+        assert (
+            wire_tier.health.consecutive_errors >= HEALTH_SUSPECT_ERRORS
+        )
+        assert wire.stats.get("remote_errors") >= HEALTH_SUSPECT_ERRORS
+        assert local.mux.stats.get("fault_retries") > 0
+        local.mux.close(handle)
+
+    def test_suspect_wire_visible_in_tier_states(self, federation):
+        local, remote, wire = federation
+        handle = _place_on_remote(local, b"S" * (4 * BS))
+        _sicken_remote(remote)
+        with pytest.raises(TierUnavailable):
+            local.mux.read(handle, 0, BS)
+        states = {t.name: t for t in local.mux.tier_states()}
+        assert states["remote-mux"].health is HealthState.SUSPECT
+        assert states["pm"].health is HealthState.HEALTHY
+        local.mux.close(handle)
+
+    def test_new_writes_route_around_suspect_wire(self, federation):
+        local, remote, wire = federation
+        handle = _place_on_remote(local, b"A" * (4 * BS))
+        _sicken_remote(remote)
+        with pytest.raises(TierUnavailable):
+            local.mux.read(handle, 0, BS)
+        # fresh writes land on the surviving healthy local tiers
+        fresh = local.mux.create("/fresh")
+        local.mux.write(fresh, 0, b"B" * BS)
+        inode = local.mux.ns.get(fresh.ino)
+        assert local.tier_id("remote-mux") not in inode.blt.tiers_used()
+        local.mux.close(fresh)
+        local.mux.close(handle)
+
+    def test_remote_repair_walks_wire_back_to_healthy(self, federation):
+        local, remote, wire = federation
+        handle = _place_on_remote(local, b"H" * (4 * BS))
+        _sicken_remote(remote)
+        with pytest.raises(TierUnavailable):
+            local.mux.read(handle, 0, BS)
+        wire_tier = local.mux.registry.get(local.tier_id("remote-mux"))
+        assert wire_tier.health.state is HealthState.SUSPECT
+
+        # operator repairs the remote machine
+        for tier_id in remote.tier_ids.values():
+            remote.mux.mark_tier_online(tier_id)
+        # consecutive successes promote the wire tier back to HEALTHY
+        for _ in range(20):
+            assert local.mux.read(handle, 0, BS) == b"H" * BS
+        assert wire_tier.health.state is HealthState.HEALTHY
+        local.mux.close(handle)
+
+    def test_translation_makes_retry_possible_at_all(self, federation):
+        """Without translation the remote TierUnavailable would bypass
+        the local retry/health machinery entirely — the regression this
+        suite pins down.  The local mux must record retries *and* give
+        up with EIO, never crash on an unexpected exception type."""
+        local, remote, wire = federation
+        handle = _place_on_remote(local, b"X" * (2 * BS))
+        _sicken_remote(remote)
+        before = local.mux.stats.get("fault_gave_up")
+        with pytest.raises(TierUnavailable):
+            local.mux.read(handle, 0, BS)
+        assert local.mux.stats.get("fault_gave_up") == before + 1
+        local.mux.close(handle)
